@@ -1,0 +1,358 @@
+// Benchmarks regenerating the computational kernels behind every table
+// and figure of the paper, plus the ablations called out in DESIGN.md.
+// One bench (or bench pair) corresponds to each experiment:
+//
+//	Table I  -> BenchmarkTableI_MLPInference / _CNNInference / _Evaluate
+//	Fig 4/5  -> BenchmarkFig4_TraditionalStep / _DLStep / _OracleStep
+//	Fig 6    -> BenchmarkFig6_ColdBeamTraditional / _ColdBeamDL
+//	§VII     -> BenchmarkFieldSolve_* (NN inference vs Poisson pipeline,
+//	            the performance claim the paper defers)
+//
+// plus ablations: Poisson backends, deposit orders, phase-space binning
+// orders, and the physics-informed loss.
+//
+// Run: go test -bench=. -benchmem .
+package dlpic_test
+
+import (
+	"sync"
+	"testing"
+
+	"dlpic"
+	"dlpic/internal/core"
+	"dlpic/internal/experiments"
+	"dlpic/internal/grid"
+	"dlpic/internal/interp"
+	"dlpic/internal/nn"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/pic"
+	"dlpic/internal/poisson"
+	"dlpic/internal/rng"
+	"dlpic/internal/tensor"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixture: a tiny trained pipeline (built once per bench run).
+
+var (
+	fixtureOnce sync.Once
+	fixture     *experiments.Pipeline
+	fixtureErr  error
+)
+
+func getFixture(b *testing.B) *experiments.Pipeline {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixture, fixtureErr = experiments.New(experiments.Options{Tiny: true, Seed: 1})
+	})
+	if fixtureErr != nil {
+		b.Fatalf("fixture: %v", fixtureErr)
+	}
+	return fixture
+}
+
+// histogramInput produces one normalized network input from a fresh
+// simulation state.
+func histogramInput(b *testing.B, p *experiments.Pipeline) []float64 {
+	b.Helper()
+	cfg := p.ValidationConfig(3)
+	sim, err := pic.New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist, err := phasespace.NewHist(p.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := hist.Bin(sim.P.X, sim.P.V); err != nil {
+		b.Fatal(err)
+	}
+	in := make([]float64, p.Spec.Size())
+	p.Train.Norm.Apply(in, hist.Data)
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+
+// BenchmarkTableI_MLPInference times one DL electric-field solve with
+// the MLP — the operation Table I's metrics are computed over.
+func BenchmarkTableI_MLPInference(b *testing.B) {
+	p := getFixture(b)
+	in := histogramInput(b, p)
+	out := make([]float64, p.Cfg.Cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MLP.Net.Predict1(in, out)
+	}
+}
+
+// BenchmarkTableI_CNNInference is the CNN counterpart.
+func BenchmarkTableI_CNNInference(b *testing.B) {
+	p := getFixture(b)
+	in := histogramInput(b, p)
+	out := make([]float64, p.Cfg.Cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CNN.Net.Predict1(in, out)
+	}
+}
+
+// BenchmarkTableI_Evaluate times the full Table-I metric computation
+// (MAE + max error) over the held-out test set.
+func BenchmarkTableI_Evaluate(b *testing.B) {
+	p := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Evaluate(p.MLP.Net, p.TestI.Inputs, p.TestI.Targets, 64)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4 / Fig 5 (same runs)
+
+func benchSteps(b *testing.B, cfg pic.Config, method pic.FieldMethod) {
+	b.Helper()
+	sim, err := pic.New(cfg, method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_TraditionalStep times one step of the traditional-PIC
+// validation run (v0 = 0.2, vth = 0.025).
+func BenchmarkFig4_TraditionalStep(b *testing.B) {
+	p := getFixture(b)
+	benchSteps(b, p.ValidationConfig(11), nil)
+}
+
+// BenchmarkFig4_DLStep times one step of the DL-based run: phase-space
+// binning + MLP inference replace deposit + Poisson.
+func BenchmarkFig4_DLStep(b *testing.B) {
+	p := getFixture(b)
+	benchSteps(b, p.ValidationConfig(11), p.MLP)
+}
+
+// BenchmarkFig4_OracleStep times the DL cycle with exact field recovery
+// (ablation: cycle cost without network inference).
+func BenchmarkFig4_OracleStep(b *testing.B) {
+	p := getFixture(b)
+	cfg := p.ValidationConfig(11)
+	oracle, err := core.NewOracleSolver(cfg, p.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSteps(b, cfg, oracle)
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6
+
+// BenchmarkFig6_ColdBeamTraditional times the cold-beam configuration
+// under the traditional method.
+func BenchmarkFig6_ColdBeamTraditional(b *testing.B) {
+	p := getFixture(b)
+	benchSteps(b, p.ColdBeamConfig(13), nil)
+}
+
+// BenchmarkFig6_ColdBeamDL is the DL counterpart of the Fig 6 run.
+func BenchmarkFig6_ColdBeamDL(b *testing.B) {
+	p := getFixture(b)
+	benchSteps(b, p.ColdBeamConfig(13), p.MLP)
+}
+
+// ---------------------------------------------------------------------------
+// §VII performance claim: DL field solve vs traditional field solve.
+
+// BenchmarkFieldSolve_Traditional times the deposit + Poisson + gradient
+// pipeline in isolation (the stage the paper replaces).
+func BenchmarkFieldSolve_Traditional(b *testing.B) {
+	p := getFixture(b)
+	cfg := p.ValidationConfig(17)
+	sim, err := pic.New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	method := sim.Method().(*pic.TraditionalField)
+	e := make([]float64, cfg.Cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := method.ComputeField(sim, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldSolve_DL times the bin + normalize + MLP inference
+// pipeline (the stage that replaces it).
+func BenchmarkFieldSolve_DL(b *testing.B) {
+	p := getFixture(b)
+	cfg := p.ValidationConfig(17)
+	sim, err := pic.New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := make([]float64, cfg.Cells)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.MLP.ComputeField(sim, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+
+// BenchmarkAblation_PoissonSolvers compares the Poisson backends on the
+// paper's 64-cell grid.
+func BenchmarkAblation_PoissonSolvers(b *testing.B) {
+	g := grid.MustNew(64, dlpic.DefaultConfig().Length)
+	r := rng.New(1)
+	rho := make([]float64, g.N())
+	for i := range rho {
+		rho[i] = r.NormFloat64()
+	}
+	g.SubtractMean(rho)
+	phi := make([]float64, g.N())
+	sor, _ := poisson.NewSOR(g, 1, 1.7, 0, 0)
+	solvers := []poisson.Solver{
+		poisson.NewSpectral(g, 1),
+		poisson.NewSpectralFD(g, 1),
+		poisson.NewCG(g, 1, 0, 0),
+		sor,
+	}
+	for _, s := range solvers {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := s.Solve(phi, rho); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DepositOrders compares NGP/CIC/TSC deposits at the
+// paper's full particle count (64,000).
+func BenchmarkAblation_DepositOrders(b *testing.B) {
+	cfg := dlpic.DefaultConfig()
+	g := grid.MustNew(cfg.Cells, cfg.Length)
+	r := rng.New(2)
+	pos := make([]float64, cfg.NumParticles())
+	for i := range pos {
+		pos[i] = r.Float64() * cfg.Length
+	}
+	rho := make([]float64, g.N())
+	for _, s := range []interp.Scheme{interp.NGP, interp.CIC, interp.TSC} {
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				interp.Deposit(s, g, pos, -1, rho)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BinningOrders compares NGP vs CIC phase-space
+// binning (the paper's suggested higher-order binning extension).
+func BenchmarkAblation_BinningOrders(b *testing.B) {
+	cfg := dlpic.DefaultConfig()
+	r := rng.New(3)
+	n := cfg.NumParticles()
+	x := make([]float64, n)
+	v := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * cfg.Length
+		v[i] = 0.25 * r.NormFloat64()
+	}
+	for _, scheme := range []interp.Scheme{interp.NGP, interp.CIC} {
+		spec := phasespace.DefaultSpec(cfg.Length)
+		spec.Binning = scheme
+		hist, err := phasespace.NewHist(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(scheme.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := hist.Bin(x, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PhysicsLoss compares the plain MSE loss against the
+// physics-informed variant (Gauss-law + neutrality penalties).
+func BenchmarkAblation_PhysicsLoss(b *testing.B) {
+	r := rng.New(4)
+	pred := tensor.New(64, 64)
+	targ := tensor.New(64, 64)
+	grad := tensor.New(64, 64)
+	pred.RandomNormal(r, 0.05)
+	targ.RandomNormal(r, 0.05)
+	losses := []nn.Loss{
+		nn.MSE{},
+		nn.PhysicsMSE{Dx: 0.032, LambdaDiv: 0.1, LambdaMean: 0.1},
+	}
+	for _, l := range losses {
+		b.Run(l.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.Forward(pred, targ, grad)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_EnergyConservingGather compares the
+// momentum-conserving (CIC) and energy-conserving gather variants.
+func BenchmarkAblation_EnergyConservingGather(b *testing.B) {
+	for _, ec := range []struct {
+		name string
+		on   bool
+	}{{"momentum-conserving", false}, {"energy-conserving", true}} {
+		b.Run(ec.name, func(b *testing.B) {
+			cfg := dlpic.DefaultConfig()
+			cfg.ParticlesPerCell = 100
+			cfg.EnergyConserving = ec.on
+			benchSteps(b, cfg, nil)
+		})
+	}
+}
+
+// BenchmarkTraining_MLPEpoch times one training epoch of the tiny MLP
+// (the offline cost of the paper's method).
+func BenchmarkTraining_MLPEpoch(b *testing.B) {
+	p := getFixture(b)
+	net, err := nn.NewMLP(nn.MLPConfig{
+		InDim: p.Spec.Size(), OutDim: p.Cfg.Cells, Hidden: 32, HiddenLayers: 3,
+	}, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.Fit(net, p.Train.Inputs, p.Train.Targets, nil, nil, nn.TrainConfig{
+			Epochs: 1, BatchSize: 64, Optimizer: nn.NewAdam(1e-3), Loss: nn.MSE{}, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command picrun executes a single plasma simulation — traditional PIC,
+// DL-based PIC with a trained model bundle, or the learning-free oracle
+// cycle — and reports the physics diagnostics: growth rate against
+// linear theory, energy variation, momentum drift, and optional ASCII
+// phase-space / time-series plots and CSV output.
+//
+// Examples:
+//
+//	picrun -steps 200                          # paper two-stream setup
+//	picrun -v0 0.4 -vth 0 -steps 200 -phase    # cold-beam run
+//	picrun -method oracle -steps 200           # DL cycle, exact fields
+//	picrun -method dl -model solver.dlpic      # DL cycle, trained net
+//	picrun -csv run.csv -plot                  # export + terminal plots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dlpic/internal/ascii"
+	"dlpic/internal/core"
+	"dlpic/internal/diag"
+	"dlpic/internal/interp"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/pic"
+	"dlpic/internal/theory"
+)
+
+func main() {
+	var (
+		method  = flag.String("method", "traditional", "field method: traditional | oracle | dl")
+		model   = flag.String("model", "", "model bundle path (required for -method dl)")
+		steps   = flag.Int("steps", 200, "number of PIC steps")
+		cells   = flag.Int("cells", 64, "grid cells")
+		ppc     = flag.Int("ppc", 1000, "particles per cell")
+		v0      = flag.Float64("v0", 0.2, "beam drift speed")
+		vth     = flag.Float64("vth", 0.025, "beam thermal speed")
+		dt      = flag.Float64("dt", 0.2, "time step")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		solver  = flag.String("solver", "spectral", "Poisson solver: spectral | spectral-fd | cg | sor")
+		scheme  = flag.String("scheme", "CIC", "interpolation: NGP | CIC | TSC")
+		quiet   = flag.Bool("quiet-start", false, "deterministic quiet start")
+		perturb = flag.Float64("perturb", 0, "seeded mode-1 position perturbation amplitude (fraction of L)")
+		ecGath  = flag.Bool("energy-conserving", false, "energy-conserving gather variant")
+		csvPath = flag.String("csv", "", "write diagnostics CSV to this path")
+		plot    = flag.Bool("plot", false, "print ASCII diagnostics charts")
+		phase   = flag.Bool("phase", false, "print final phase space")
+	)
+	flag.Parse()
+	if err := run(runOpts{
+		method: *method, model: *model, steps: *steps, cells: *cells, ppc: *ppc,
+		v0: *v0, vth: *vth, dt: *dt, seed: *seed, solver: *solver, scheme: *scheme,
+		quiet: *quiet, perturb: *perturb, ec: *ecGath,
+		csvPath: *csvPath, plot: *plot, phase: *phase,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "picrun:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	method, model, solver, scheme, csvPath string
+	steps, cells, ppc                      int
+	v0, vth, dt, perturb                   float64
+	seed                                   uint64
+	quiet, ec, plot, phase                 bool
+}
+
+func run(o runOpts) error {
+	sch, err := interp.ParseScheme(o.scheme)
+	if err != nil {
+		return err
+	}
+	cfg := pic.Default()
+	cfg.Cells = o.cells
+	cfg.ParticlesPerCell = o.ppc
+	cfg.V0 = o.v0
+	cfg.Vth = o.vth
+	cfg.Dt = o.dt
+	cfg.Seed = o.seed
+	cfg.Solver = o.solver
+	cfg.Scheme = sch
+	cfg.QuietStart = o.quiet
+	cfg.EnergyConserving = o.ec
+	if o.perturb != 0 {
+		cfg.PerturbAmp = o.perturb * cfg.Length
+		cfg.PerturbMode = 1
+	}
+
+	var fieldMethod pic.FieldMethod
+	switch o.method {
+	case "traditional":
+		// nil selects the built-in deposit+Poisson method.
+	case "oracle":
+		spec := phasespace.DefaultSpec(cfg.Length)
+		spec.NX = cfg.Cells
+		fieldMethod, err = core.NewOracleSolver(cfg, spec)
+		if err != nil {
+			return err
+		}
+	case "dl":
+		if o.model == "" {
+			return fmt.Errorf("-method dl requires -model")
+		}
+		fieldMethod, err = core.LoadModelFile(o.model)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown method %q", o.method)
+	}
+
+	sim, err := pic.New(cfg, fieldMethod)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("method=%s cells=%d particles=%d dt=%g v0=%g vth=%g solver=%s scheme=%s\n",
+		sim.Method().Name(), cfg.Cells, cfg.NumParticles(), cfg.Dt, cfg.V0, cfg.Vth, cfg.Solver, cfg.Scheme)
+
+	var rec diag.Recorder
+	if err := sim.Run(o.steps, &rec, nil); err != nil {
+		return err
+	}
+	if err := sim.CheckFinite(); err != nil {
+		return err
+	}
+
+	// Summary physics.
+	ts := theory.TwoStream{Wp: cfg.Wp, V0: cfg.V0, Vth: cfg.Vth}
+	k1 := 2 * math.Pi / cfg.Length
+	rows := [][]string{{"Quantity", "Value"}}
+	rows = append(rows, []string{"simulated time", fmt.Sprintf("%.4g", sim.Time())})
+	if ts.Unstable(k1) {
+		rows = append(rows, []string{"linear theory gamma (mode 1)", fmt.Sprintf("%.4f", ts.GrowthRate(k1))})
+		amps, _ := rec.Series("mode")
+		times := rec.Times()
+		if t0, t1, werr := diag.AutoGrowthWindow(times, amps, 0.02, 0.5); werr == nil {
+			if fit, ferr := diag.FitGrowthRate(times, amps, t0, t1); ferr == nil {
+				rows = append(rows, []string{"measured gamma (mode 1)",
+					fmt.Sprintf("%.4f  (R2=%.3f, window t=[%.1f,%.1f])", fit.Gamma, fit.R2, fit.T0, fit.T1)})
+			}
+		}
+	} else {
+		rows = append(rows, []string{"linear theory", "stable configuration (K >= 1)"})
+	}
+	tot, _ := rec.Series("total")
+	mom, _ := rec.Series("momentum")
+	rows = append(rows, []string{"max energy variation", fmt.Sprintf("%.3f%%", 100*diag.MaxRelativeVariation(tot))})
+	rows = append(rows, []string{"momentum drift", fmt.Sprintf("%.4g", diag.Drift(mom))})
+	rows = append(rows, []string{"final beam spread (RMS dv)", fmt.Sprintf("%.4g", diag.VelocitySpread(sim.P.V))})
+	fmt.Println(ascii.Table(rows))
+
+	if o.plot {
+		times := rec.Times()
+		amps, _ := rec.Series("mode")
+		fmt.Print(ascii.LineChart([]ascii.Series{{Name: "E1", X: times, Y: amps}},
+			70, 14, "Mode-1 field amplitude (log)", true))
+		fmt.Println()
+		fmt.Print(ascii.LineChart([]ascii.Series{{Name: "total energy", X: times, Y: tot}},
+			70, 10, "Total energy", false))
+		fmt.Println()
+		fmt.Print(ascii.LineChart([]ascii.Series{{Name: "momentum", X: times, Y: mom}},
+			70, 10, "Total momentum", false))
+	}
+	if o.phase {
+		vmax := 2.2 * math.Abs(cfg.V0)
+		if vmax == 0 {
+			vmax = 0.4
+		}
+		fmt.Print(ascii.PhaseSpace(sim.P.X, sim.P.V, cfg.Length, -vmax, vmax, 64, 20,
+			fmt.Sprintf("Electron phase space at t=%.3g", sim.Time())))
+	}
+	if o.csvPath != "" {
+		f, err := os.Create(o.csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d samples)\n", o.csvPath, rec.Len())
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+// Package dlpic is a Go reproduction of "A Deep Learning-Based
+// Particle-in-Cell Method for Plasma Simulations" (Aguilar & Markidis,
+// IEEE CLUSTER 2021, arXiv:2107.02232).
+//
+// It bundles a complete 1D electrostatic Particle-in-Cell simulator, a
+// from-scratch neural-network framework, the phase-space-binning DL
+// field solver that is the paper's contribution, and the dataset /
+// training / evaluation pipeline connecting them. This package is the
+// stable facade: it re-exports the main types and wires the common
+// workflows (run a simulation, generate a corpus, train a solver, run
+// the DL-PIC loop) in a few calls. The internal packages carry the full
+// API surface.
+//
+// Quickstart (the examples/ directory has runnable versions):
+//
+//	cfg := dlpic.DefaultConfig()          // paper §III configuration
+//	sim, _ := dlpic.NewTraditional(cfg)   // traditional PIC (Fig. 1)
+//	var rec dlpic.Recorder
+//	sim.Run(200, &rec, nil)               // two-stream instability
+//	fit, _ := dlpic.MeasureGrowthRate(&rec)
+//	theory := dlpic.TheoreticalGrowthRate(cfg)
+//	fmt.Printf("growth: %.3f (theory %.3f)\n", fit.Gamma, theory)
+package dlpic
+
+import (
+	"fmt"
+	"math"
+
+	"dlpic/internal/core"
+	"dlpic/internal/dataset"
+	"dlpic/internal/diag"
+	"dlpic/internal/nn"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/pic"
+	"dlpic/internal/rng"
+	"dlpic/internal/theory"
+	"dlpic/internal/vlasov"
+)
+
+// Re-exported core types. The aliases keep one import path for users
+// while the implementation lives in focused internal packages.
+type (
+	// Config is the full PIC run configuration (see pic.Config).
+	Config = pic.Config
+	// Simulation is a running PIC system (traditional or DL-based).
+	Simulation = pic.Simulation
+	// FieldMethod computes the grid E field each cycle.
+	FieldMethod = pic.FieldMethod
+	// Recorder accumulates per-step diagnostics.
+	Recorder = diag.Recorder
+	// Sample is one time level of diagnostics.
+	Sample = diag.Sample
+	// GrowthFit is a fitted exponential growth rate.
+	GrowthFit = diag.GrowthFit
+	// PhaseSpec is the phase-space binning specification.
+	PhaseSpec = phasespace.GridSpec
+	// Normalizer is the min-max input transform (paper Eq. 5).
+	Normalizer = phasespace.Normalizer
+	// NNSolver is the trained DL electric-field solver (paper Fig. 2).
+	NNSolver = core.NNSolver
+	// OracleSolver is the learning-free reference field solver that
+	// consumes the same phase-space histogram as the NN.
+	OracleSolver = core.OracleSolver
+	// Dataset is a (phase-space, E-field) training corpus.
+	Dataset = dataset.Dataset
+	// SweepOpts configures corpus generation (paper §IV-1).
+	SweepOpts = dataset.GenerateOpts
+	// Network is a trainable/deployable neural network.
+	Network = nn.Network
+	// TrainConfig drives training.
+	TrainConfig = nn.TrainConfig
+	// History is a training trajectory.
+	History = nn.History
+	// Metrics are the Table-I error statistics (MAE, max error).
+	Metrics = nn.Metrics
+)
+
+// DefaultConfig returns the paper's §III configuration: 64 cells,
+// L = 2*pi/3.06, dt = 0.2, 1000 electrons/cell, v0 = 0.2, vth = 0.025.
+func DefaultConfig() Config { return pic.Default() }
+
+// DefaultPhaseSpec returns the 64x64 phase-space binning over the box of
+// cfg with the velocity window [-0.8, 0.8] (covers the paper's cold-beam
+// case) and NGP binning as in the paper.
+func DefaultPhaseSpec(cfg Config) PhaseSpec {
+	return phasespace.DefaultSpec(cfg.Length)
+}
+
+// NewTraditional builds the traditional PIC simulation of Fig. 1
+// (deposit + Poisson field solver).
+func NewTraditional(cfg Config) (*Simulation, error) {
+	return pic.New(cfg, nil)
+}
+
+// NewDLPIC builds the DL-based PIC simulation of Fig. 2 around a trained
+// field solver.
+func NewDLPIC(cfg Config, solver *NNSolver) (*Simulation, error) {
+	if solver == nil {
+		return nil, fmt.Errorf("dlpic: nil solver")
+	}
+	return pic.New(cfg, solver)
+}
+
+// NewOracleDLPIC builds the DL-PIC cycle with the learning-free oracle
+// solver — same binning stage, exact field recovery. Useful to separate
+// cycle error from learning error.
+func NewOracleDLPIC(cfg Config, spec PhaseSpec) (*Simulation, error) {
+	oracle, err := core.NewOracleSolver(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return pic.New(cfg, oracle)
+}
+
+// GenerateDataset runs the traditional-PIC sweep of §IV-1 and returns
+// the raw (un-normalized) corpus.
+func GenerateDataset(opts SweepOpts) (*Dataset, error) {
+	return dataset.Generate(opts)
+}
+
+// PaperSweep returns the paper's full §IV-1 sweep axes: v0 in {0.05,
+// 0.1, 0.15, 0.18, 0.3}, vth in {0, 0.001, 0.005, 0.01}, 10 repeats, 200
+// steps (40,000 samples at full scale).
+func PaperSweep(base Config, spec PhaseSpec, seed uint64) SweepOpts {
+	return SweepOpts{
+		Base:    base,
+		V0s:     []float64{0.05, 0.1, 0.15, 0.18, 0.3},
+		Vths:    []float64{0.0, 0.001, 0.005, 0.01},
+		Repeats: 10, Steps: 200, SampleEvery: 1,
+		Spec: spec, Seed: seed,
+	}
+}
+
+// ScaledSweep returns a laptop-scale version of the paper's sweep that
+// preserves its structure (multiple v0/vth combinations, repeats,
+// full-instability trajectories) at a fraction of the samples.
+func ScaledSweep(base Config, spec PhaseSpec, seed uint64) SweepOpts {
+	return SweepOpts{
+		Base:    base,
+		V0s:     []float64{0.1, 0.15, 0.18, 0.3},
+		Vths:    []float64{0.0, 0.005},
+		Repeats: 2, Steps: 200, SampleEvery: 2,
+		Spec: spec, Seed: seed,
+	}
+}
+
+// SolverArch names a network architecture from the paper (plus the
+// residual extension).
+type SolverArch int
+
+const (
+	// ArchMLP is the paper's MLP (3 hidden ReLU layers + linear output).
+	ArchMLP SolverArch = iota
+	// ArchCNN is the paper's CNN (2 conv blocks + dense stack).
+	ArchCNN
+	// ArchResMLP is the residual-MLP extension from the discussion.
+	ArchResMLP
+)
+
+// String returns the architecture name.
+func (a SolverArch) String() string {
+	switch a {
+	case ArchMLP:
+		return "MLP"
+	case ArchCNN:
+		return "CNN"
+	case ArchResMLP:
+		return "ResMLP"
+	default:
+		return fmt.Sprintf("SolverArch(%d)", int(a))
+	}
+}
+
+// SolverOpts sizes a DL field solver. Zero values select the scaled
+// defaults; Paper sets the paper's full sizes (1024-wide dense stack).
+type SolverOpts struct {
+	Arch   SolverArch
+	Hidden int // dense width (paper: 1024; scaled default: 128)
+	Layers int // dense depth (paper: 3)
+	// CNN channels (scaled defaults 4/8; paper did not specify).
+	Channels1, Channels2 int
+	// ResMLP blocks (default 2).
+	Blocks int
+	Seed   uint64
+}
+
+func (o SolverOpts) withDefaults() SolverOpts {
+	if o.Hidden == 0 {
+		o.Hidden = 128
+	}
+	if o.Layers == 0 {
+		o.Layers = 3
+	}
+	if o.Channels1 == 0 {
+		o.Channels1 = 4
+	}
+	if o.Channels2 == 0 {
+		o.Channels2 = 8
+	}
+	if o.Blocks == 0 {
+		o.Blocks = 2
+	}
+	return o
+}
+
+// PaperSolverOpts returns the paper's full-size architecture settings.
+func PaperSolverOpts(arch SolverArch, seed uint64) SolverOpts {
+	return SolverOpts{Arch: arch, Hidden: 1024, Layers: 3, Channels1: 16, Channels2: 32, Blocks: 3, Seed: seed}
+}
+
+// BuildNetwork constructs an untrained network of the requested
+// architecture for a given phase-space spec and grid size.
+func BuildNetwork(opts SolverOpts, spec PhaseSpec, cells int) (*Network, error) {
+	opts = opts.withDefaults()
+	r := rng.New(opts.Seed)
+	switch opts.Arch {
+	case ArchMLP:
+		return nn.NewMLP(nn.MLPConfig{
+			InDim: spec.Size(), OutDim: cells, Hidden: opts.Hidden, HiddenLayers: opts.Layers,
+		}, r)
+	case ArchCNN:
+		return nn.NewCNN(nn.CNNConfig{
+			H: spec.NV, W: spec.NX, OutDim: cells,
+			Channels1: opts.Channels1, Channels2: opts.Channels2,
+			Kernel: 3, Hidden: opts.Hidden, HiddenLayers: opts.Layers,
+		}, r)
+	case ArchResMLP:
+		return nn.NewResMLP(nn.ResMLPConfig{
+			InDim: spec.Size(), OutDim: cells, Hidden: opts.Hidden, Blocks: opts.Blocks,
+		}, r)
+	default:
+		return nil, fmt.Errorf("dlpic: unknown architecture %v", opts.Arch)
+	}
+}
+
+// TrainSolver trains a DL field solver on a normalized corpus and wraps
+// it for use in the PIC loop. The corpus must already be normalized
+// (Dataset.Normalize); val may be nil.
+func TrainSolver(arch SolverOpts, train, val *Dataset, tc TrainConfig) (*NNSolver, History, error) {
+	if !train.Normalized {
+		return nil, History{}, fmt.Errorf("dlpic: training corpus must be normalized first")
+	}
+	net, err := BuildNetwork(arch, train.Spec, train.Cells)
+	if err != nil {
+		return nil, History{}, err
+	}
+	var hist History
+	if val != nil {
+		hist, err = nn.Fit(net, train.Inputs, train.Targets, val.Inputs, val.Targets, tc)
+	} else {
+		hist, err = nn.Fit(net, train.Inputs, train.Targets, nil, nil, tc)
+	}
+	if err != nil {
+		return nil, hist, err
+	}
+	solver, err := core.NewNNSolver(net, train.Spec, train.Norm, train.Cells)
+	if err != nil {
+		return nil, hist, err
+	}
+	return solver, hist, nil
+}
+
+// EvaluateSolver computes the Table-I metrics of a solver's network on a
+// normalized corpus.
+func EvaluateSolver(s *NNSolver, ds *Dataset) Metrics {
+	return nn.Evaluate(s.Net, ds.Inputs, ds.Targets, 64)
+}
+
+// MeasureGrowthRate fits the exponential growth of the recorded
+// mode-amplitude series using an automatic window between the noise
+// floor and saturation.
+func MeasureGrowthRate(rec *Recorder) (GrowthFit, error) {
+	amps, err := rec.Series("mode")
+	if err != nil {
+		return GrowthFit{}, err
+	}
+	times := rec.Times()
+	t0, t1, err := diag.AutoGrowthWindow(times, amps, 0.01, 0.3)
+	if err != nil {
+		return GrowthFit{}, err
+	}
+	return diag.FitGrowthRate(times, amps, t0, t1)
+}
+
+// TheoreticalGrowthRate returns the cold two-stream linear growth rate
+// of the monitored mode for cfg (the "Linear Theory" slope of Fig. 4).
+func TheoreticalGrowthRate(cfg Config) float64 {
+	ts := theory.TwoStream{Wp: cfg.Wp, V0: cfg.V0, Vth: cfg.Vth}
+	k := 2 * math.Pi * float64(cfg.DiagMode) / cfg.Length
+	return ts.GrowthRate(k)
+}
+
+// SaveSolver and LoadSolver persist a deployable solver bundle
+// (architecture, weights, normalizer, binning spec).
+func SaveSolver(s *NNSolver, cells int, path string) error {
+	return core.SaveModelFile(s, cells, path)
+}
+
+// LoadSolver loads a solver bundle saved with SaveSolver.
+func LoadSolver(path string) (*NNSolver, error) {
+	return core.LoadModelFile(path)
+}
+
+// ---------------------------------------------------------------------------
+// Vlasov extension (paper §VII: noise-free training data)
+
+// VlasovConfig configures the 1D1V Vlasov-Poisson solver.
+type VlasovConfig = vlasov.Config
+
+// VlasovInit is the two-stream initial condition for the Vlasov solver.
+type VlasovInit = vlasov.TwoStreamInit
+
+// VlasovSweepOpts configures noise-free corpus generation.
+type VlasovSweepOpts = dataset.VlasovGenerateOpts
+
+// DefaultVlasovConfig returns the paper-box Vlasov configuration.
+func DefaultVlasovConfig() VlasovConfig { return vlasov.Default() }
+
+// NewVlasov builds a Vlasov-Poisson solver with a two-stream initial
+// condition.
+func NewVlasov(cfg VlasovConfig, init VlasovInit) (*vlasov.Solver, error) {
+	return vlasov.New(cfg, init)
+}
+
+// GenerateVlasovDataset runs the noise-free Vlasov sweep (paper §VII).
+func GenerateVlasovDataset(opts VlasovSweepOpts) (*Dataset, error) {
+	return dataset.GenerateVlasov(opts)
+}

@@ -1,0 +1,92 @@
+// Architecture comparison (paper Table I, miniature): train the MLP, the
+// CNN and the ResMLP extension on the same small corpus and compare
+// their MAE / max-error metrics on a held-out test split and on a second
+// test set from unseen beam parameters.
+//
+//	go run ./examples/training
+//
+// Takes a few minutes on one CPU core (the CNN dominates).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dlpic"
+	"dlpic/internal/ascii"
+	"dlpic/internal/nn"
+)
+
+func main() {
+	cfg := dlpic.DefaultConfig()
+	cfg.ParticlesPerCell = 100
+	spec := dlpic.DefaultPhaseSpec(cfg)
+
+	fmt.Fprintln(os.Stderr, "generating corpora...")
+	ds, err := dlpic.GenerateDataset(dlpic.SweepOpts{
+		Base: cfg,
+		V0s:  []float64{0.15, 0.18, 0.3}, Vths: []float64{0.0, 0.005},
+		Repeats: 1, Steps: 150, SampleEvery: 2,
+		Spec: spec, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ds.Normalize(); err != nil {
+		log.Fatal(err)
+	}
+	ds.Shuffle(2)
+	train, val, testI, err := ds.Split(ds.N()-60, 30, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Test set II: unseen parameters, normalized with the training
+	// transform (as the paper does).
+	setII, err := dlpic.GenerateDataset(dlpic.SweepOpts{
+		Base: cfg,
+		V0s:  []float64{0.2}, Vths: []float64{0.025},
+		Repeats: 1, Steps: 100, SampleEvery: 2,
+		Spec: spec, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := setII.NormalizeWith(ds.Norm); err != nil {
+		log.Fatal(err)
+	}
+
+	rows := [][]string{{"Arch", "Params", "Train time", "MAE (I)", "Max (I)", "MAE (II)", "Max (II)"}}
+	for _, arch := range []dlpic.SolverArch{dlpic.ArchMLP, dlpic.ArchCNN, dlpic.ArchResMLP} {
+		opts := dlpic.SolverOpts{Arch: arch, Hidden: 64, Layers: 2, Channels1: 2, Channels2: 4, Blocks: 2, Seed: 5}
+		epochs := 20
+		if arch == dlpic.ArchCNN {
+			epochs = 8 // conv epochs are ~10x more expensive
+		}
+		fmt.Fprintf(os.Stderr, "training %v...\n", arch)
+		start := time.Now()
+		solver, _, err := dlpic.TrainSolver(opts, train, val, dlpic.TrainConfig{
+			Epochs: epochs, BatchSize: 64, Optimizer: nn.NewAdam(1e-3), Loss: nn.MSE{}, Seed: 6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start).Round(time.Second)
+		mI := dlpic.EvaluateSolver(solver, testI)
+		mII := dlpic.EvaluateSolver(solver, setII)
+		rows = append(rows, []string{
+			arch.String(),
+			fmt.Sprintf("%d", solver.Net.NumParams()),
+			elapsed.String(),
+			fmt.Sprintf("%.4g", mI.MAE), fmt.Sprintf("%.4g", mI.MaxErr),
+			fmt.Sprintf("%.4g", mII.MAE), fmt.Sprintf("%.4g", mII.MaxErr),
+		})
+	}
+	fmt.Println()
+	fmt.Println("Table I (miniature): DL field-solver error by architecture")
+	fmt.Println("(set I: held-out from training parameters; set II: v0=0.2, vth=0.025, unseen)")
+	fmt.Println()
+	fmt.Print(ascii.Table(rows))
+}

@@ -1,0 +1,252 @@
+// Package ascii renders the paper's figures as terminal graphics: the
+// phase-space scatter/heatmaps of Figs. 4 and 6 and the time-series
+// panels (E1 amplitude, total energy, total momentum) of Figs. 4-6.
+// The experiment harness and the examples print these so a reproduction
+// run is interpretable without leaving the terminal; the same data is
+// also written as CSV for external plotting.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shade maps an intensity in [0, 1] to a density glyph.
+var shades = []rune(" .:-=+*#%@")
+
+// Heatmap renders a row-major matrix (rows x cols, row 0 at the bottom)
+// as a shaded grid with axis labels. Values are auto-scaled; negative
+// values are clipped to zero.
+func Heatmap(data []float64, rows, cols int, title, xlabel, ylabel string) string {
+	if len(data) != rows*cols {
+		return fmt.Sprintf("ascii: heatmap size mismatch (%d != %dx%d)\n", len(data), rows, cols)
+	}
+	var maxV float64
+	for _, v := range data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for r := rows - 1; r >= 0; r-- {
+		sb.WriteString("  |")
+		for c := 0; c < cols; c++ {
+			v := data[r*cols+c]
+			if v < 0 {
+				v = 0
+			}
+			idx := 0
+			if maxV > 0 {
+				idx = int(v / maxV * float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			sb.WriteRune(shades[idx])
+		}
+		sb.WriteString("|")
+		if r == rows-1 && ylabel != "" {
+			sb.WriteString("  " + ylabel)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("  +" + strings.Repeat("-", cols) + "+\n")
+	if xlabel != "" {
+		sb.WriteString("   " + xlabel + "\n")
+	}
+	return sb.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles through per-series glyphs.
+var markers = []rune("*o+x#@")
+
+// LineChart renders one or more series on shared axes in a width x
+// height character canvas. With logY, Y values are plotted on a log10
+// scale (non-positive values are skipped).
+func LineChart(series []Series, width, height int, title string, logY bool) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Determine ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if logY {
+				if !(y > 0) {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	if math.IsInf(xmin, 1) {
+		sb.WriteString("  (no plottable data)\n")
+		return sb.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if logY {
+				if !(y > 0) {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+			if cx < 0 || cx >= width || cy < 0 || cy >= height {
+				continue
+			}
+			canvas[height-1-cy][cx] = mark
+		}
+	}
+	// Y-axis labels: top and bottom.
+	topLabel, botLabel := ymax, ymin
+	unit := ""
+	if logY {
+		unit = " (log10)"
+	}
+	for r := 0; r < height; r++ {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", topLabel)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.3g ", botLabel)
+		}
+		sb.WriteString(label + "|" + string(canvas[r]) + "\n")
+	}
+	sb.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "%s%-12.4g%s%12.4g%s\n", strings.Repeat(" ", 10), xmin,
+		strings.Repeat(" ", maxInt(0, width-24)), xmax, unit)
+	// Legend.
+	sb.WriteString(strings.Repeat(" ", 10))
+	for si, s := range series {
+		fmt.Fprintf(&sb, " %c=%s", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PhaseSpace renders particle (x, v) pairs as a heatmap with nxBins x
+// nvBins resolution over [0, l) x [vmin, vmax].
+func PhaseSpace(x, v []float64, l, vmin, vmax float64, nxBins, nvBins int, title string) string {
+	counts := make([]float64, nxBins*nvBins)
+	dx := l / float64(nxBins)
+	dv := (vmax - vmin) / float64(nvBins)
+	for i := range x {
+		ix := int(x[i] / dx)
+		if ix < 0 {
+			ix = 0
+		}
+		if ix >= nxBins {
+			ix = nxBins - 1
+		}
+		iv := int((v[i] - vmin) / dv)
+		if iv < 0 {
+			iv = 0
+		}
+		if iv >= nvBins {
+			iv = nvBins - 1
+		}
+		counts[iv*nxBins+ix]++
+	}
+	return Heatmap(counts, nvBins, nxBins, title,
+		fmt.Sprintf("x in [0, %.3g)", l),
+		fmt.Sprintf("v in [%.2g, %.2g]", vmin, vmax))
+}
+
+// Table renders rows of cells with aligned columns. The first row is
+// treated as a header and underlined.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, r := range rows {
+		for c := 0; c < cols; c++ {
+			cell := ""
+			if c < len(r) {
+				cell = r[c]
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[c]+2, cell)
+		}
+		sb.WriteString("\n")
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			sb.WriteString(strings.Repeat("-", total) + "\n")
+		}
+	}
+	return sb.String()
+}

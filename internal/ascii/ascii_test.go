@@ -1,0 +1,148 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapBasic(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4, 5}
+	out := Heatmap(data, 2, 3, "title", "xlab", "ylab")
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "xlab") || !strings.Contains(out, "ylab") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 rows + border + xlabel = 5 lines.
+	if len(lines) != 5 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Max value renders as the densest glyph; zero as space.
+	if !strings.ContainsRune(lines[1], '@') {
+		t.Errorf("max glyph missing in top row: %q", lines[1])
+	}
+}
+
+func TestHeatmapSizeMismatch(t *testing.T) {
+	out := Heatmap([]float64{1, 2}, 2, 3, "", "", "")
+	if !strings.Contains(out, "mismatch") {
+		t.Fatalf("expected mismatch message, got %q", out)
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	out := Heatmap(make([]float64, 6), 2, 3, "", "", "")
+	if strings.ContainsAny(out, "@#%") {
+		t.Fatalf("zero data should render empty: %q", out)
+	}
+}
+
+func TestLineChartBasic(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) * 2
+	}
+	out := LineChart([]Series{{Name: "linear", X: xs, Y: ys}}, 40, 10, "chart", false)
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "linear") {
+		t.Fatalf("missing title/legend: %q", out)
+	}
+	if !strings.ContainsRune(out, '*') {
+		t.Fatal("no data points plotted")
+	}
+}
+
+func TestLineChartLogSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, -1, 10, 100}
+	out := LineChart([]Series{{Name: "s", X: xs, Y: ys}}, 30, 8, "", true)
+	// Strip the legend line (it contains the marker glyph too).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	canvas := strings.Join(lines[:len(lines)-1], "\n")
+	count := strings.Count(canvas, "*")
+	if count != 2 {
+		t.Fatalf("log chart plotted %d points, want 2 (positives only): %q", count, out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart([]Series{{Name: "empty"}}, 30, 8, "t", false)
+	if !strings.Contains(out, "no plottable data") {
+		t.Fatalf("expected empty-data message: %q", out)
+	}
+	// NaN-only series too.
+	out = LineChart([]Series{{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}}, 30, 8, "", false)
+	if !strings.Contains(out, "no plottable data") {
+		t.Fatalf("expected empty-data message for NaN: %q", out)
+	}
+}
+
+func TestLineChartMultipleSeries(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	out := LineChart([]Series{
+		{Name: "a", X: xs, Y: []float64{1, 2, 3}},
+		{Name: "b", X: xs, Y: []float64{3, 2, 1}},
+	}, 30, 8, "", false)
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatalf("expected two marker styles: %q", out)
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	xs := []float64{0, 1, 2}
+	ys := []float64{5, 5, 5}
+	out := LineChart([]Series{{Name: "flat", X: xs, Y: ys}}, 30, 6, "", false)
+	if !strings.ContainsRune(out, '*') {
+		t.Fatalf("flat series not plotted: %q", out)
+	}
+}
+
+func TestPhaseSpace(t *testing.T) {
+	x := []float64{0.1, 0.1, 1.9}
+	v := []float64{0.2, 0.2, -0.2}
+	out := PhaseSpace(x, v, 2.0, -0.4, 0.4, 8, 4, "ps")
+	if !strings.Contains(out, "ps") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "x in [0, 2)") {
+		t.Fatalf("missing x label: %q", out)
+	}
+	// Out-of-range velocities clamp instead of panicking.
+	out = PhaseSpace([]float64{0.5}, []float64{99}, 2.0, -0.4, 0.4, 8, 4, "")
+	if out == "" {
+		t.Fatal("clamped phase space empty")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"Metric", "Paper", "Measured"},
+		{"MAE I", "0.0019", "0.0021"},
+		{"Max", "0.069", "0.05"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing header underline: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "MAE I") {
+		t.Fatalf("row content lost: %q", lines[2])
+	}
+	if Table(nil) != "" {
+		t.Fatal("empty table should render empty string")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := Table([][]string{{"a", "b", "c"}, {"only-one"}})
+	if !strings.Contains(out, "only-one") {
+		t.Fatalf("ragged row lost: %q", out)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"dlpic/internal/diag"
+	"dlpic/internal/fft"
+	"dlpic/internal/nn"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/pic"
+	"dlpic/internal/rng"
+)
+
+// Hybrid-alpha ablation: as alpha moves from 0 (oracle) to 1 (pure
+// network), the run must transition smoothly — every blend runs stably,
+// and the alpha = 0 endpoint reproduces the oracle's trajectory.
+func TestHybridAlphaSweep(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Cells = 32
+	cfg.ParticlesPerCell = 20
+	spec := phasespace.GridSpec{NX: 32, NV: 16, L: cfg.Length, VMin: -0.8, VMax: 0.8}
+	oracle, err := NewOracleSolver(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An untrained network: the worst case a blend must still contain at
+	// small alpha.
+	net, err := nn.NewMLP(nn.MLPConfig{InDim: spec.Size(), OutDim: cfg.Cells, Hidden: 16, HiddenLayers: 1}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnSolver, err := NewNNSolver(net, spec, phasespace.Normalizer{Min: 0, Max: 100}, cfg.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(alpha float64) *diag.Recorder {
+		hybrid, err := NewHybridSolver(nnSolver, oracle, alpha, cfg.Cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := pic.New(cfg, hybrid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec diag.Recorder
+		if err := sim.Run(40, &rec, nil); err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if err := sim.CheckFinite(); err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		return &rec
+	}
+	recs := map[float64]*diag.Recorder{}
+	for _, alpha := range []float64{0, 0.25, 0.5, 1} {
+		recs[alpha] = run(alpha)
+	}
+	// alpha = 0 equals a pure oracle run sample-for-sample.
+	oracleSim, err := pic.New(cfg, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracleRec diag.Recorder
+	if err := oracleSim.Run(40, &oracleRec, nil); err != nil {
+		t.Fatal(err)
+	}
+	a0 := recs[0].Samples
+	for i := range a0 {
+		if a0[i] != oracleRec.Samples[i] {
+			t.Fatalf("alpha=0 diverged from the oracle at sample %d", i)
+		}
+	}
+	// The untrained endpoint must differ from the oracle endpoint
+	// (otherwise the blend is not actually blending).
+	tot1, _ := recs[1].Series("total")
+	tot0, _ := recs[0].Series("total")
+	same := true
+	for i := range tot1 {
+		if tot1[i] != tot0[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("alpha=1 trajectory identical to alpha=0: blend inert")
+	}
+}
+
+// The CNN architecture drives the PIC loop through the same solver
+// plumbing as the MLP.
+func TestDLCycleWithCNNSolver(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Cells = 32
+	cfg.ParticlesPerCell = 10
+	spec := phasespace.GridSpec{NX: 32, NV: 32, L: cfg.Length, VMin: -0.8, VMax: 0.8}
+	net, err := nn.NewCNN(nn.CNNConfig{
+		H: spec.NV, W: spec.NX, OutDim: cfg.Cells,
+		Channels1: 2, Channels2: 2, Kernel: 3, Hidden: 16, HiddenLayers: 1,
+	}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := NewNNSolver(net, spec, phasespace.Normalizer{Min: 0, Max: 50}, cfg.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.ClampAbs = 0.3 // untrained CNN: keep the fields physical
+	sim, err := pic.New(cfg, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(20, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	if solver.Predictions < 20 {
+		t.Fatalf("CNN solver invoked %d times", solver.Predictions)
+	}
+}
+
+// SmoothModes preserves the low-mode field content exactly while
+// removing everything above the cutoff.
+func TestSmoothModesFilter(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Cells = 32
+	spec := phasespace.GridSpec{NX: 32, NV: 8, L: cfg.Length, VMin: -0.8, VMax: 0.8}
+	net, err := nn.NewMLP(nn.MLPConfig{InDim: spec.Size(), OutDim: cfg.Cells, Hidden: 8, HiddenLayers: 1}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := NewNNSolver(net, spec, phasespace.Normalizer{Min: 0, Max: 1}, cfg.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := pic.New(cfg, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]float64, cfg.Cells)
+	if err := solver.ComputeField(sim, raw); err != nil {
+		t.Fatal(err)
+	}
+	solver.SmoothModes = 3
+	smooth := make([]float64, cfg.Cells)
+	if err := solver.ComputeField(sim, smooth); err != nil {
+		t.Fatal(err)
+	}
+	// Compare Fourier content: modes 1..3 match, higher modes vanish.
+	rawAmp := modeAmps(raw)
+	smAmp := modeAmps(smooth)
+	for k := 1; k <= 3; k++ {
+		if absf(rawAmp[k]-smAmp[k]) > 1e-9 {
+			t.Fatalf("mode %d changed by the filter: %v vs %v", k, rawAmp[k], smAmp[k])
+		}
+	}
+	for k := 4; k < len(smAmp); k++ {
+		if smAmp[k] > 1e-9 {
+			t.Fatalf("mode %d survived the filter: %v", k, smAmp[k])
+		}
+	}
+}
+
+func modeAmps(e []float64) []float64 {
+	plan := fft.MustPlan(len(e))
+	amps := make([]float64, len(e)/2+1)
+	fft.Amplitudes(amps, e, plan)
+	return amps
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

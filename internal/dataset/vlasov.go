@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"fmt"
+
+	"dlpic/internal/phasespace"
+	"dlpic/internal/tensor"
+	"dlpic/internal/vlasov"
+)
+
+// VlasovGenerateOpts configures corpus generation from the Vlasov-Poisson
+// solver instead of traditional PIC — the paper's §VII suggestion for
+// noise-free training data. One deterministic run per (V0, Vth)
+// combination (repeats would be pointless without particle noise);
+// diversity comes from the parameter sweep and the per-run seed
+// perturbation amplitudes.
+type VlasovGenerateOpts struct {
+	// Base is the Vlasov configuration template; its NX must equal the
+	// histogram Spec.NX and its NV must be a multiple of Spec.NV (rows
+	// are block-summed down to the histogram resolution).
+	Base vlasov.Config
+	// V0s and Vths are the sweep axes. Vth values below the Vlasov grid's
+	// velocity resolution are rejected (a Vlasov beam must be resolved).
+	V0s, Vths []float64
+	// Amps are the seeded mode-1 perturbation amplitudes; each (V0, Vth)
+	// combination is run once per amplitude.
+	Amps []float64
+	// Steps and SampleEvery control trajectory sampling as in
+	// GenerateOpts.
+	Steps, SampleEvery int
+	// Np is the virtual macro-particle count used to scale the
+	// distribution to PIC-histogram-equivalent bin counts, so corpora
+	// from both generators are interchangeable.
+	Np int
+	// Spec is the target histogram discretization.
+	Spec phasespace.GridSpec
+	// Progress, if non-nil, is called after each completed run.
+	Progress func(done, total int)
+}
+
+// Validate checks the sweep options.
+func (o VlasovGenerateOpts) Validate() error {
+	if err := o.Base.Validate(); err != nil {
+		return err
+	}
+	if err := o.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(o.V0s) == 0 || len(o.Vths) == 0 || len(o.Amps) == 0 {
+		return fmt.Errorf("dataset: empty Vlasov sweep axes")
+	}
+	if o.Steps < 1 || o.SampleEvery < 1 {
+		return fmt.Errorf("dataset: invalid Steps=%d SampleEvery=%d", o.Steps, o.SampleEvery)
+	}
+	if o.Np < 1 {
+		return fmt.Errorf("dataset: Np = %d, need >= 1", o.Np)
+	}
+	if o.Base.NX != o.Spec.NX {
+		return fmt.Errorf("dataset: Vlasov NX %d != spec NX %d", o.Base.NX, o.Spec.NX)
+	}
+	if o.Base.NV%o.Spec.NV != 0 {
+		return fmt.Errorf("dataset: Vlasov NV %d not a multiple of spec NV %d", o.Base.NV, o.Spec.NV)
+	}
+	if o.Base.Length != o.Spec.L {
+		return fmt.Errorf("dataset: Vlasov box %v != spec box %v", o.Base.Length, o.Spec.L)
+	}
+	if o.Base.VMin != o.Spec.VMin || o.Base.VMax != o.Spec.VMax {
+		return fmt.Errorf("dataset: velocity windows differ: [%v,%v] vs [%v,%v]",
+			o.Base.VMin, o.Base.VMax, o.Spec.VMin, o.Spec.VMax)
+	}
+	return nil
+}
+
+// GenerateVlasov runs the Vlasov sweep and collects the corpus in the
+// same layout as Generate (interchangeable for training).
+func GenerateVlasov(o VlasovGenerateOpts) (*Dataset, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	samplesPerRun := o.Steps / o.SampleEvery
+	totalRuns := len(o.V0s) * len(o.Vths) * len(o.Amps)
+	n := totalRuns * samplesPerRun
+	ds := &Dataset{
+		Spec:    o.Spec,
+		Cells:   o.Base.NX,
+		Inputs:  tensor.New(n, o.Spec.Size()),
+		Targets: tensor.New(n, o.Base.NX),
+	}
+	fullCounts := make([]float64, o.Base.NX*o.Base.NV)
+	rowsPerBin := o.Base.NV / o.Spec.NV
+	row := 0
+	runIdx := 0
+	for _, v0 := range o.V0s {
+		for _, vth := range o.Vths {
+			for _, amp := range o.Amps {
+				solver, err := vlasov.New(o.Base, vlasov.TwoStreamInit{
+					V0: v0, Vth: vth, Amp: amp, Mode: 1,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("dataset: vlasov run v0=%v vth=%v: %w", v0, vth, err)
+				}
+				for step := 0; step < o.Steps; step++ {
+					if _, err := solver.Step(); err != nil {
+						return nil, fmt.Errorf("dataset: vlasov step %d (v0=%v vth=%v): %w", step, v0, vth, err)
+					}
+					if (step+1)%o.SampleEvery != 0 || row >= n {
+						continue
+					}
+					if err := solver.Counts(o.Np, fullCounts); err != nil {
+						return nil, err
+					}
+					// Block-sum velocity rows down to the histogram grid.
+					in := ds.Inputs.Row(row)
+					for i := range in {
+						in[i] = 0
+					}
+					for ivFull := 0; ivFull < o.Base.NV; ivFull++ {
+						iv := ivFull / rowsPerBin
+						src := fullCounts[ivFull*o.Base.NX : (ivFull+1)*o.Base.NX]
+						dst := in[iv*o.Spec.NX : (iv+1)*o.Spec.NX]
+						for ix, c := range src {
+							dst[ix] += c
+						}
+					}
+					copy(ds.Targets.Row(row), solver.E)
+					row++
+				}
+				runIdx++
+				if o.Progress != nil {
+					o.Progress(runIdx, totalRuns)
+				}
+			}
+		}
+	}
+	if row < n {
+		ds.Inputs = shrinkRows(ds.Inputs, row)
+		ds.Targets = shrinkRows(ds.Targets, row)
+	}
+	return ds, nil
+}

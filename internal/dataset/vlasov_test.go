@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"dlpic/internal/interp"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/vlasov"
+)
+
+func vlasovOpts() VlasovGenerateOpts {
+	base := vlasov.Default()
+	base.NX = 32
+	base.NV = 64
+	spec := phasespace.GridSpec{
+		NX: 32, NV: 32, L: base.Length,
+		VMin: base.VMin, VMax: base.VMax, Binning: interp.NGP,
+	}
+	return VlasovGenerateOpts{
+		Base: base,
+		V0s:  []float64{0.2}, Vths: []float64{0.03},
+		Amps:  []float64{1e-3},
+		Steps: 20, SampleEvery: 2,
+		Np:   8000,
+		Spec: spec,
+	}
+}
+
+func TestVlasovOptsValidate(t *testing.T) {
+	good := vlasovOpts()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid opts rejected: %v", err)
+	}
+	cases := []func(*VlasovGenerateOpts){
+		func(o *VlasovGenerateOpts) { o.V0s = nil },
+		func(o *VlasovGenerateOpts) { o.Vths = nil },
+		func(o *VlasovGenerateOpts) { o.Amps = nil },
+		func(o *VlasovGenerateOpts) { o.Steps = 0 },
+		func(o *VlasovGenerateOpts) { o.SampleEvery = 0 },
+		func(o *VlasovGenerateOpts) { o.Np = 0 },
+		func(o *VlasovGenerateOpts) { o.Spec.NX = 16 },    // NX mismatch
+		func(o *VlasovGenerateOpts) { o.Spec.NV = 24 },    // NV not divisor
+		func(o *VlasovGenerateOpts) { o.Spec.L = 99 },     // box mismatch
+		func(o *VlasovGenerateOpts) { o.Spec.VMax = 0.5 }, // window mismatch
+		func(o *VlasovGenerateOpts) { o.Base.Dt = 0 },     // bad base
+	}
+	for i, mutate := range cases {
+		o := vlasovOpts()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateVlasovShapes(t *testing.T) {
+	o := vlasovOpts()
+	calls := 0
+	o.Progress = func(done, total int) {
+		calls++
+		if total != 1 {
+			t.Errorf("total %d, want 1", total)
+		}
+	}
+	ds, err := GenerateVlasov(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 10 {
+		t.Fatalf("N = %d, want 10", ds.N())
+	}
+	if calls != 1 {
+		t.Fatalf("progress calls %d", calls)
+	}
+	if ds.Inputs.Cols() != o.Spec.Size() || ds.Targets.Cols() != o.Base.NX {
+		t.Fatalf("widths %d/%d", ds.Inputs.Cols(), ds.Targets.Cols())
+	}
+	// Inputs sum to the virtual particle count (noise-free histograms).
+	for i := 0; i < ds.N(); i++ {
+		var sum float64
+		for _, v := range ds.Inputs.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-float64(o.Np)) > 1e-6*float64(o.Np) {
+			t.Fatalf("row %d sums to %v, want %d", i, sum, o.Np)
+		}
+	}
+	// Targets carry the seeded-mode field (non-zero, finite).
+	var maxAbs float64
+	for _, v := range ds.Targets.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite target")
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		t.Fatal("all-zero targets")
+	}
+}
+
+func TestGenerateVlasovDeterministic(t *testing.T) {
+	a, err := GenerateVlasov(vlasovOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateVlasov(vlasovOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Inputs.Data {
+		if a.Inputs.Data[i] != b.Inputs.Data[i] {
+			t.Fatal("Vlasov corpus not deterministic")
+		}
+	}
+}
+
+// A Vlasov corpus and a PIC corpus of the same configuration must be
+// interchangeable: same shapes, compatible magnitudes (the count scale
+// matches by construction), and a normalizer fitted on one applies to
+// the other.
+func TestVlasovPICCorpusInterchangeable(t *testing.T) {
+	vo := vlasovOpts()
+	vds, err := GenerateVlasov(vo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := tinyOpts()
+	po.Base.Cells = 32
+	po.Base.ParticlesPerCell = vo.Np / 32
+	po.Spec = vo.Spec
+	po.V0s, po.Vths = vo.V0s, []float64{0.03}
+	po.Steps, po.SampleEvery = 20, 2
+	pds, err := Generate(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vds.Inputs.Cols() != pds.Inputs.Cols() || vds.Targets.Cols() != pds.Targets.Cols() {
+		t.Fatalf("corpora not shape-compatible: %d/%d vs %d/%d",
+			vds.Inputs.Cols(), vds.Targets.Cols(), pds.Inputs.Cols(), pds.Targets.Cols())
+	}
+	// Histogram scales agree within a factor ~2 (same total counts,
+	// slightly different concentration).
+	maxOf := func(xs []float64) float64 {
+		var m float64
+		for _, v := range xs {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	vm, pm := maxOf(vds.Inputs.Data), maxOf(pds.Inputs.Data)
+	if vm/pm > 3 || pm/vm > 3 {
+		t.Fatalf("count scales diverge: vlasov max %v vs pic max %v", vm, pm)
+	}
+	if err := vds.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pds.NormalizeWith(vds.Norm); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pds.Inputs.Data {
+		if v < -0.1 || v > 2 {
+			t.Fatalf("cross-normalized value %v far outside [0,1]", v)
+		}
+	}
+}

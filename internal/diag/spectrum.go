@@ -1,0 +1,130 @@
+package diag
+
+import (
+	"fmt"
+	"math"
+
+	"dlpic/internal/fft"
+)
+
+// ErrorSpectrum implements the analysis the paper's conclusions call for
+// ("more studies, such as spectral analysis of errors in the electric
+// field values, are needed"): it decomposes the prediction error of a
+// field solver by Fourier mode, revealing whether a learned solver errs
+// on the physically active long wavelengths or on grid-scale noise.
+type ErrorSpectrum struct {
+	// PerMode[k] is the RMS amplitude of mode k of (pred - truth) over
+	// the sample set, k = 0..n/2.
+	PerMode []float64
+	// TruthPerMode[k] is the RMS amplitude of mode k of the truth, for
+	// normalization.
+	TruthPerMode []float64
+	// Samples is the number of field pairs analyzed.
+	Samples int
+}
+
+// ComputeErrorSpectrum accumulates the per-mode RMS error over pairs of
+// predicted and true fields. pred and truth are row-major [n, cells]
+// sample sets of equal shape, supplied as flat slices.
+func ComputeErrorSpectrum(pred, truth []float64, cells int) (*ErrorSpectrum, error) {
+	if cells < 2 {
+		return nil, fmt.Errorf("diag: ErrorSpectrum needs >= 2 cells, got %d", cells)
+	}
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("diag: ErrorSpectrum length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 || len(pred)%cells != 0 {
+		return nil, fmt.Errorf("diag: ErrorSpectrum length %d not a multiple of %d", len(pred), cells)
+	}
+	n := len(pred) / cells
+	plan := fft.MustPlan(cells)
+	half := cells/2 + 1
+	errSq := make([]float64, half)
+	truthSq := make([]float64, half)
+	diff := make([]float64, cells)
+	amp := make([]float64, half)
+	for s := 0; s < n; s++ {
+		p := pred[s*cells : (s+1)*cells]
+		tr := truth[s*cells : (s+1)*cells]
+		for i := range diff {
+			diff[i] = p[i] - tr[i]
+		}
+		fft.Amplitudes(amp, diff, plan)
+		for k, a := range amp {
+			errSq[k] += a * a
+		}
+		fft.Amplitudes(amp, tr, plan)
+		for k, a := range amp {
+			truthSq[k] += a * a
+		}
+	}
+	spec := &ErrorSpectrum{
+		PerMode:      make([]float64, half),
+		TruthPerMode: make([]float64, half),
+		Samples:      n,
+	}
+	for k := 0; k < half; k++ {
+		spec.PerMode[k] = sqrt(errSq[k] / float64(n))
+		spec.TruthPerMode[k] = sqrt(truthSq[k] / float64(n))
+	}
+	return spec, nil
+}
+
+// RelativeAt returns the error-to-signal ratio of mode k (infinite when
+// the truth has no power there but the error does).
+func (s *ErrorSpectrum) RelativeAt(k int) float64 {
+	if k < 0 || k >= len(s.PerMode) {
+		return 0
+	}
+	if s.TruthPerMode[k] == 0 {
+		if s.PerMode[k] == 0 {
+			return 0
+		}
+		return inf()
+	}
+	return s.PerMode[k] / s.TruthPerMode[k]
+}
+
+// DominantErrorMode returns the mode with the largest absolute RMS error
+// (excluding the mean mode 0).
+func (s *ErrorSpectrum) DominantErrorMode() int {
+	best, bestVal := 1, 0.0
+	for k := 1; k < len(s.PerMode); k++ {
+		if s.PerMode[k] > bestVal {
+			bestVal = s.PerMode[k]
+			best = k
+		}
+	}
+	return best
+}
+
+// LowModeFraction returns the fraction of total error power carried by
+// modes 1..cut (inclusive). A learned solver whose error is mostly
+// low-mode is biased; one whose error is mostly high-mode is noisy —
+// they call for different remedies (more data vs output filtering).
+func (s *ErrorSpectrum) LowModeFraction(cut int) float64 {
+	if cut < 1 {
+		return 0
+	}
+	var low, total float64
+	for k := 1; k < len(s.PerMode); k++ {
+		p := s.PerMode[k] * s.PerMode[k]
+		total += p
+		if k <= cut {
+			low += p
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return low / total
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,138 @@
+package diag
+
+import (
+	"math"
+	"testing"
+)
+
+func sineField(cells, mode int, amp, phase float64) []float64 {
+	out := make([]float64, cells)
+	for i := range out {
+		out[i] = amp * math.Sin(2*math.Pi*float64(mode)*float64(i)/float64(cells)+phase)
+	}
+	return out
+}
+
+func TestErrorSpectrumValidation(t *testing.T) {
+	if _, err := ComputeErrorSpectrum(make([]float64, 4), make([]float64, 8), 4); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := ComputeErrorSpectrum(make([]float64, 7), make([]float64, 7), 4); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+	if _, err := ComputeErrorSpectrum(nil, nil, 4); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ComputeErrorSpectrum(make([]float64, 4), make([]float64, 4), 1); err == nil {
+		t.Error("cells < 2 should fail")
+	}
+}
+
+func TestErrorSpectrumSingleModeError(t *testing.T) {
+	cells := 32
+	truth := sineField(cells, 1, 0.1, 0)
+	pred := append([]float64(nil), truth...)
+	// Inject a pure mode-3 error of amplitude 0.02.
+	errField := sineField(cells, 3, 0.02, 0.5)
+	for i := range pred {
+		pred[i] += errField[i]
+	}
+	spec, err := ComputeErrorSpectrum(pred, truth, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Samples != 1 {
+		t.Fatalf("samples %d", spec.Samples)
+	}
+	if math.Abs(spec.PerMode[3]-0.02) > 1e-12 {
+		t.Fatalf("mode-3 error %v, want 0.02", spec.PerMode[3])
+	}
+	for k := range spec.PerMode {
+		if k != 3 && spec.PerMode[k] > 1e-12 {
+			t.Fatalf("unexpected error at mode %d: %v", k, spec.PerMode[k])
+		}
+	}
+	if math.Abs(spec.TruthPerMode[1]-0.1) > 1e-12 {
+		t.Fatalf("truth mode-1 %v, want 0.1", spec.TruthPerMode[1])
+	}
+	if spec.DominantErrorMode() != 3 {
+		t.Fatalf("dominant mode %d, want 3", spec.DominantErrorMode())
+	}
+}
+
+func TestErrorSpectrumRelativeAt(t *testing.T) {
+	cells := 16
+	truth := sineField(cells, 1, 0.1, 0)
+	pred := append([]float64(nil), truth...)
+	for i := range pred {
+		pred[i] += 0.5 * truth[i] // 50% relative error on mode 1
+	}
+	spec, err := ComputeErrorSpectrum(pred, truth, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := spec.RelativeAt(1); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("relative error %v, want 0.5", r)
+	}
+	// Error on a mode with no truth power: infinite ratio.
+	pred2 := append([]float64(nil), truth...)
+	e := sineField(cells, 4, 0.01, 0)
+	for i := range pred2 {
+		pred2[i] += e[i]
+	}
+	// The truth has only FFT-roundoff power (~1e-17) at mode 4, so the
+	// ratio is astronomically large (or +Inf if the roundoff cancels).
+	spec2, _ := ComputeErrorSpectrum(pred2, truth, cells)
+	if r := spec2.RelativeAt(4); !math.IsInf(r, 1) && r < 1e6 {
+		t.Fatalf("expected an effectively infinite ratio, got %v", r)
+	}
+	// Out-of-range modes return 0.
+	if spec2.RelativeAt(-1) != 0 || spec2.RelativeAt(999) != 0 {
+		t.Fatal("out-of-range modes should return 0")
+	}
+}
+
+func TestErrorSpectrumLowModeFraction(t *testing.T) {
+	cells := 32
+	truth := make([]float64, cells)
+	// Error: equal power on modes 2 and 10.
+	pred := make([]float64, cells)
+	e2 := sineField(cells, 2, 0.05, 0)
+	e10 := sineField(cells, 10, 0.05, 0)
+	for i := range pred {
+		pred[i] = e2[i] + e10[i]
+	}
+	spec, err := ComputeErrorSpectrum(pred, truth, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := spec.LowModeFraction(4); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("low-mode fraction %v, want 0.5", f)
+	}
+	if f := spec.LowModeFraction(16); math.Abs(f-1.0) > 1e-9 {
+		t.Fatalf("all-mode fraction %v, want 1", f)
+	}
+	if spec.LowModeFraction(0) != 0 {
+		t.Fatal("cut 0 should give 0")
+	}
+}
+
+func TestErrorSpectrumMultiSampleRMS(t *testing.T) {
+	cells := 16
+	// Two samples with mode-1 errors of 0.01 and 0.03: RMS = sqrt((1+9)/2)*0.01.
+	truth := make([]float64, 2*cells)
+	pred := make([]float64, 2*cells)
+	copy(pred[:cells], sineField(cells, 1, 0.01, 0))
+	copy(pred[cells:], sineField(cells, 1, 0.03, 0))
+	spec, err := ComputeErrorSpectrum(pred, truth, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.01 * math.Sqrt(5)
+	if math.Abs(spec.PerMode[1]-want) > 1e-12 {
+		t.Fatalf("RMS %v, want %v", spec.PerMode[1], want)
+	}
+	if spec.Samples != 2 {
+		t.Fatalf("samples %d", spec.Samples)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyPipeline is shared across tests (built once; ~seconds).
+var tinyPipe *Pipeline
+
+func getPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	if tinyPipe != nil {
+		return tinyPipe
+	}
+	p, err := New(Options{Tiny: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("tiny pipeline: %v", err)
+	}
+	tinyPipe = p
+	return p
+}
+
+func TestPipelineConstruction(t *testing.T) {
+	p := getPipeline(t)
+	if p.Train.N() == 0 || p.Val.N() == 0 || p.TestI.N() == 0 {
+		t.Fatalf("empty partitions: %d/%d/%d", p.Train.N(), p.Val.N(), p.TestI.N())
+	}
+	if p.MLP == nil || p.CNN == nil {
+		t.Fatal("solvers not trained")
+	}
+	if !p.Train.Normalized {
+		t.Fatal("corpus not normalized")
+	}
+	// Training improved the loss.
+	h := p.MLPHistory
+	if len(h.Epochs) == 0 || h.Final().TrainLoss >= h.Epochs[0].TrainLoss {
+		t.Fatalf("MLP training did not improve: %+v", h.Epochs)
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	p := getPipeline(t)
+	res, err := p.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HaveCNN {
+		t.Fatal("CNN missing from Table 1")
+	}
+	if res.SetIISamples == 0 {
+		t.Fatal("empty test set II")
+	}
+	// At tiny scale the errors are larger than the paper's but must stay
+	// far below the field scale for the table to be meaningful.
+	if res.MLPSetI.MAE <= 0 || res.MLPSetI.MAE > res.MaxFieldInCorpus {
+		t.Fatalf("MLP Set I MAE %v implausible (field scale %v)", res.MLPSetI.MAE, res.MaxFieldInCorpus)
+	}
+	if res.MaxFieldInCorpus <= 0 {
+		t.Fatal("field scale not measured")
+	}
+	rows := res.Rows()
+	if len(rows) != 9 {
+		t.Fatalf("row count %d, want 9 (header + 8 metrics)", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += strings.Join(r, " ") + "\n"
+	}
+	if !strings.Contains(joined, "MLP") || !strings.Contains(joined, "CNN") {
+		t.Fatalf("rows missing architectures: %s", joined)
+	}
+}
+
+func TestFig4Runs(t *testing.T) {
+	p := getPipeline(t)
+	res, err := p.Fig4(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traditional.Rec.Len() != 60 || res.DL.Rec.Len() != 60 {
+		t.Fatal("missing samples")
+	}
+	if math.Abs(res.TheoryGamma-1/math.Sqrt(8)) > 1e-3 {
+		t.Fatalf("theory gamma %v, want ~0.354", res.TheoryGamma)
+	}
+	if res.WarmGamma <= 0 || res.WarmGamma > res.TheoryGamma {
+		t.Fatalf("warm gamma %v out of range (cold %v)", res.WarmGamma, res.TheoryGamma)
+	}
+	if len(res.DL.FinalX) == 0 || len(res.DL.FinalV) == 0 {
+		t.Fatal("missing phase-space snapshot")
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	p := getPipeline(t)
+	res, err := p.Fig6(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold beams: starting spread is tiny (only the de-stagger half-kick
+	// against the loading-noise field perturbs the exact +-v0 loading).
+	if res.Traditional.VelocitySpreadStart > 0.01 {
+		t.Fatalf("cold beam started warm: %v", res.Traditional.VelocitySpreadStart)
+	}
+	if res.Traditional.Rec.Len() != 40 || res.DL.Rec.Len() != 40 {
+		t.Fatal("missing samples")
+	}
+}
+
+func TestOracleRunMatchesTheory(t *testing.T) {
+	p := getPipeline(t)
+	res, err := p.OracleRun(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FitOK {
+		t.Skip("noise-seeded tiny run produced no clean growth window")
+	}
+	want := 1 / math.Sqrt(8)
+	if math.Abs(res.Growth.Gamma-want)/want > 0.35 {
+		t.Fatalf("oracle growth %v too far from theory %v", res.Growth.Gamma, want)
+	}
+}
+
+func TestValidationConfigUsesUnseenParameters(t *testing.T) {
+	p := getPipeline(t)
+	cfg := p.ValidationConfig(1)
+	if cfg.V0 != 0.2 || cfg.Vth != 0.025 {
+		t.Fatalf("validation config %+v, want v0=0.2 vth=0.025", cfg)
+	}
+	cold := p.ColdBeamConfig(1)
+	if cold.V0 != 0.4 || cold.Vth != 0 {
+		t.Fatalf("cold-beam config %+v, want v0=0.4 vth=0", cold)
+	}
+}
+
+func TestPaperTable1Reference(t *testing.T) {
+	// Sanity on the hard-coded paper numbers.
+	if PaperTable1["MLP/MAE/I"] != 0.0019 || PaperTable1["CNN/Max/II"] != 0.073 {
+		t.Fatal("paper reference values corrupted")
+	}
+	if PaperMaxField != 0.1 {
+		t.Fatal("paper field scale corrupted")
+	}
+}

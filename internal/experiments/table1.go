@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dlpic/internal/dataset"
+	"dlpic/internal/nn"
+)
+
+// Paper values for Table I (MAE and maximum error of the DL electric
+// field solvers on test sets I and II).
+var (
+	PaperTable1 = map[string]float64{
+		"MLP/MAE/I":  0.0019,
+		"MLP/Max/I":  0.06899,
+		"MLP/MAE/II": 0.0015,
+		"MLP/Max/II": 0.0286,
+		"CNN/MAE/I":  0.0020,
+		"CNN/Max/I":  0.0463,
+		"CNN/MAE/II": 0.0032,
+		"CNN/Max/II": 0.073,
+	}
+	// PaperMaxField is the reference scale the paper quotes: "the maximum
+	// electric field value obtained in the simulations is approximately
+	// 0.1".
+	PaperMaxField = 0.1
+)
+
+// Table1Result carries measured Table-I metrics for both architectures
+// and both test sets.
+type Table1Result struct {
+	// MLPSetI/II and CNNSetI/II are the measured metrics; CNN entries
+	// are zero when the pipeline skipped CNN training.
+	MLPSetI, MLPSetII nn.Metrics
+	CNNSetI, CNNSetII nn.Metrics
+	HaveCNN           bool
+	// MaxFieldInCorpus is the measured counterpart of PaperMaxField.
+	MaxFieldInCorpus float64
+	// SetIISamples is the Test Set II size.
+	SetIISamples int
+}
+
+// GenerateTestSetII builds the paper's second test set: samples from
+// simulations with parameter combinations not present in the training
+// sweep (the §V validation parameters among them).
+func (p *Pipeline) GenerateTestSetII() (*dataset.Dataset, error) {
+	steps := 100
+	every := 2
+	if p.Opts.Paper {
+		steps, every = 200, 1
+	}
+	opts := dataset.GenerateOpts{
+		Base: p.Cfg,
+		// Unseen combinations: v0 = 0.2 (the validation beam speed) and
+		// 0.25; vth values off the training grid.
+		V0s: []float64{0.2, 0.25}, Vths: []float64{0.025, 0.0075},
+		Repeats: 1, Steps: steps, SampleEvery: every,
+		Spec: p.Spec, Seed: p.Opts.Seed + 100,
+	}
+	ds, err := dataset.Generate(opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: test set II: %w", err)
+	}
+	// Test sets reuse the training normalizer (never refit).
+	if err := ds.NormalizeWith(p.Train.Norm); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Table1 evaluates both solvers on test sets I and II.
+func (p *Pipeline) Table1() (Table1Result, error) {
+	var res Table1Result
+	setII, err := p.GenerateTestSetII()
+	if err != nil {
+		return res, err
+	}
+	res.SetIISamples = setII.N()
+	res.MLPSetI = nn.Evaluate(p.MLP.Net, p.TestI.Inputs, p.TestI.Targets, 64)
+	res.MLPSetII = nn.Evaluate(p.MLP.Net, setII.Inputs, setII.Targets, 64)
+	if p.CNN != nil {
+		res.HaveCNN = true
+		res.CNNSetI = nn.Evaluate(p.CNN.Net, p.TestI.Inputs, p.TestI.Targets, 64)
+		res.CNNSetII = nn.Evaluate(p.CNN.Net, setII.Inputs, setII.Targets, 64)
+	}
+	// Field scale across the test targets (paper: ~0.1).
+	for _, v := range p.TestI.Targets.Data {
+		if a := abs(v); a > res.MaxFieldInCorpus {
+			res.MaxFieldInCorpus = a
+		}
+	}
+	for _, v := range setII.Targets.Data {
+		if a := abs(v); a > res.MaxFieldInCorpus {
+			res.MaxFieldInCorpus = a
+		}
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Rows renders the result as table rows (metric, paper, measured) in the
+// paper's row order.
+func (r Table1Result) Rows() [][]string {
+	f := func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	rows := [][]string{
+		{"Metric", "Test Set", "Arch", "Paper", "Measured"},
+		{"Mean Absolute Error", "I", "MLP", f(PaperTable1["MLP/MAE/I"]), f(r.MLPSetI.MAE)},
+		{"Max Error", "I", "MLP", f(PaperTable1["MLP/Max/I"]), f(r.MLPSetI.MaxErr)},
+		{"Mean Absolute Error", "II", "MLP", f(PaperTable1["MLP/MAE/II"]), f(r.MLPSetII.MAE)},
+		{"Max Error", "II", "MLP", f(PaperTable1["MLP/Max/II"]), f(r.MLPSetII.MaxErr)},
+	}
+	if r.HaveCNN {
+		rows = append(rows,
+			[]string{"Mean Absolute Error", "I", "CNN", f(PaperTable1["CNN/MAE/I"]), f(r.CNNSetI.MAE)},
+			[]string{"Max Error", "I", "CNN", f(PaperTable1["CNN/Max/I"]), f(r.CNNSetI.MaxErr)},
+			[]string{"Mean Absolute Error", "II", "CNN", f(PaperTable1["CNN/MAE/II"]), f(r.CNNSetII.MAE)},
+			[]string{"Max Error", "II", "CNN", f(PaperTable1["CNN/Max/II"]), f(r.CNNSetII.MaxErr)},
+		)
+	}
+	return rows
+}

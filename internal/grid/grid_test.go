@@ -1,0 +1,219 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 1.0); err == nil {
+		t.Error("New(1, 1) should fail")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("New(8, 0) should fail")
+	}
+	if _, err := New(8, -2); err == nil {
+		t.Error("New(8, -2) should fail")
+	}
+	g, err := New(64, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 64 || g.Length() != 2.0 {
+		t.Fatalf("got N=%d L=%v", g.N(), g.Length())
+	}
+	if math.Abs(g.Dx()-2.0/64) > 1e-15 {
+		t.Fatalf("Dx = %v", g.Dx())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0,1) did not panic")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestXCoordinates(t *testing.T) {
+	g := MustNew(4, 8.0)
+	for i, want := range []float64{0, 2, 4, 6} {
+		if g.X(i) != want {
+			t.Errorf("X(%d) = %v, want %v", i, g.X(i), want)
+		}
+	}
+}
+
+func TestWrapProperty(t *testing.T) {
+	g := MustNew(16, 5.0)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		w := g.Wrap(x)
+		if w < 0 || w >= g.Length() {
+			return false
+		}
+		// Wrapped value differs from x by an integer number of periods.
+		k := (x - w) / g.Length()
+		return math.Abs(k-math.Round(k)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapEdges(t *testing.T) {
+	g := MustNew(8, 1.0)
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {0.5, 0.5}, {1.0, 0}, {1.5, 0.5}, {-0.25, 0.75}, {-1.0, 0}, {2.25, 0.25},
+	}
+	for _, c := range cases {
+		if got := g.Wrap(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	g := MustNew(4, 4.0)
+	cases := []struct {
+		x    float64
+		want int
+	}{{0, 0}, {0.99, 0}, {1.0, 1}, {3.999, 3}}
+	for _, c := range cases {
+		if got := g.CellOf(c.x); got != c.want {
+			t.Errorf("CellOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGradientOfSinusoid(t *testing.T) {
+	g := MustNew(256, 2*math.Pi)
+	f := make([]float64, g.N())
+	for i := range f {
+		f[i] = math.Sin(g.X(i))
+	}
+	df := make([]float64, g.N())
+	g.Gradient(df, f)
+	// Centered difference of sin on a uniform grid gives cos * sinc factor.
+	factor := math.Sin(g.Dx()) / g.Dx()
+	for i := range df {
+		want := math.Cos(g.X(i)) * factor
+		if math.Abs(df[i]-want) > 1e-10 {
+			t.Fatalf("i=%d: grad %v, want %v", i, df[i], want)
+		}
+	}
+}
+
+func TestGradientSecondOrderConvergence(t *testing.T) {
+	errAt := func(n int) float64 {
+		g := MustNew(n, 2*math.Pi)
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = math.Sin(2 * g.X(i))
+		}
+		df := make([]float64, n)
+		g.Gradient(df, f)
+		var maxErr float64
+		for i := range df {
+			e := math.Abs(df[i] - 2*math.Cos(2*g.X(i)))
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		return maxErr
+	}
+	e1, e2 := errAt(64), errAt(128)
+	ratio := e1 / e2
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("gradient convergence ratio %v, want ~4 (second order)", ratio)
+	}
+}
+
+func TestLaplacianOfSinusoid(t *testing.T) {
+	g := MustNew(512, 2*math.Pi)
+	f := make([]float64, g.N())
+	for i := range f {
+		f[i] = math.Cos(3 * g.X(i))
+	}
+	lap := make([]float64, g.N())
+	g.Laplacian(lap, f)
+	// Discrete eigenvalue of the 3-point Laplacian for mode k is
+	// -(2/dx^2)(1-cos(k dx)) = -(4/dx^2) sin^2(k dx / 2).
+	k := 3.0
+	eig := -4 / (g.Dx() * g.Dx()) * math.Pow(math.Sin(k*g.Dx()/2), 2)
+	for i := range lap {
+		want := eig * f[i]
+		if math.Abs(lap[i]-want) > 1e-8 {
+			t.Fatalf("i=%d: lap %v, want %v", i, lap[i], want)
+		}
+	}
+}
+
+func TestGradientOfConstantIsZero(t *testing.T) {
+	g := MustNew(32, 1.0)
+	f := make([]float64, 32)
+	for i := range f {
+		f[i] = 7.5
+	}
+	df := make([]float64, 32)
+	g.Gradient(df, f)
+	for i, v := range df {
+		if v != 0 {
+			t.Fatalf("grad of constant non-zero at %d: %v", i, v)
+		}
+	}
+}
+
+func TestIntegralAndMean(t *testing.T) {
+	g := MustNew(10, 5.0)
+	f := make([]float64, 10)
+	for i := range f {
+		f[i] = float64(i)
+	}
+	// sum = 45, dx = 0.5 -> integral 22.5, mean 4.5
+	if got := g.Integral(f); math.Abs(got-22.5) > 1e-12 {
+		t.Errorf("Integral = %v, want 22.5", got)
+	}
+	if got := g.Mean(f); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 4.5", got)
+	}
+}
+
+func TestSubtractMeanProperty(t *testing.T) {
+	g := MustNew(16, 2.0)
+	f := func(vals [16]float64) bool {
+		fs := make([]float64, 16)
+		for i := range fs {
+			v := vals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+				v = 1
+			}
+			fs[i] = v
+		}
+		g.SubtractMean(fs)
+		var scale float64
+		for _, v := range fs {
+			if math.Abs(v) > scale {
+				scale = math.Abs(v)
+			}
+		}
+		return math.Abs(g.Mean(fs)) <= 1e-9*(1+scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	g := MustNew(8, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched Gradient lengths")
+		}
+	}()
+	g.Gradient(make([]float64, 4), make([]float64, 8))
+}

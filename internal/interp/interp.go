@@ -1,0 +1,231 @@
+// Package interp implements the particle-grid interpolation (weighting)
+// schemes of the PIC method: Nearest-Grid-Point (NGP, order 0),
+// Cloud-in-Cell (CIC, order 1) and Triangular-Shaped-Cloud (TSC, order 2),
+// following Birdsall & Langdon and Hockney & Eastwood.
+//
+// Two directions are needed each PIC cycle:
+//
+//   - Gather: evaluate a grid field at particle positions
+//     (step 1 of the cycle, E-field at x_p);
+//   - Deposit (scatter): accumulate particle charge onto grid nodes
+//     (step 3 of the cycle, charge density rho).
+//
+// Using the same weighting function for both directions makes the scheme
+// momentum-conserving (zero net self-force); that property is exercised
+// by the package tests and by the traditional-PIC integration tests.
+package interp
+
+import (
+	"fmt"
+
+	"dlpic/internal/grid"
+	"dlpic/internal/parallel"
+)
+
+// Scheme identifies an interpolation order.
+type Scheme int
+
+const (
+	// NGP assigns everything to the nearest grid node (top-hat, order 0).
+	NGP Scheme = iota
+	// CIC splits linearly between the two surrounding nodes (order 1).
+	CIC
+	// TSC spreads quadratically over three nodes (order 2).
+	TSC
+)
+
+// String returns the scheme's conventional abbreviation.
+func (s Scheme) String() string {
+	switch s {
+	case NGP:
+		return "NGP"
+	case CIC:
+		return "CIC"
+	case TSC:
+		return "TSC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme converts a string (case-sensitive, conventional
+// abbreviation) to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "NGP", "ngp":
+		return NGP, nil
+	case "CIC", "cic":
+		return CIC, nil
+	case "TSC", "tsc":
+		return TSC, nil
+	}
+	return 0, fmt.Errorf("interp: unknown scheme %q (want NGP, CIC or TSC)", s)
+}
+
+// Valid reports whether s is a defined scheme.
+func (s Scheme) Valid() bool { return s == NGP || s == CIC || s == TSC }
+
+// Support returns the number of grid nodes a particle touches.
+func (s Scheme) Support() int {
+	switch s {
+	case NGP:
+		return 1
+	case CIC:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// weights computes, for a particle at position x on grid g, the leftmost
+// touched node index and the per-node weights w (sum 1). The node index
+// may be negative or >= N; callers wrap modulo N.
+//
+// Conventions (h = x/dx):
+//   - NGP: node round(h), weight 1.
+//   - CIC: nodes floor(h), floor(h)+1 with linear weights.
+//   - TSC: nodes round(h)-1 .. round(h)+1 with quadratic spline weights.
+func weights(s Scheme, g *grid.Grid, x float64, w *[3]float64) (left int, count int) {
+	h := x / g.Dx()
+	switch s {
+	case NGP:
+		i := int(h + 0.5)
+		w[0] = 1
+		return i, 1
+	case CIC:
+		i := int(h)
+		frac := h - float64(i)
+		w[0] = 1 - frac
+		w[1] = frac
+		return i, 2
+	default: // TSC
+		i := int(h + 0.5)
+		d := h - float64(i) // in [-0.5, 0.5]
+		w[0] = 0.5 * (0.5 - d) * (0.5 - d)
+		w[1] = 0.75 - d*d
+		w[2] = 0.5 * (0.5 + d) * (0.5 + d)
+		return i - 1, 3
+	}
+}
+
+// Gather evaluates the grid field on each particle position:
+// out[p] = sum_i W(x_p - x_i) field[i]. Positions must lie in [0, L).
+// out and pos must have equal length; field must have length g.N().
+func Gather(s Scheme, g *grid.Grid, field []float64, pos []float64, out []float64) {
+	if len(field) != g.N() {
+		panic(fmt.Sprintf("interp: Gather field length %d, grid %d", len(field), g.N()))
+	}
+	if len(out) != len(pos) {
+		panic(fmt.Sprintf("interp: Gather out length %d, pos %d", len(out), len(pos)))
+	}
+	n := g.N()
+	parallel.For(len(pos), func(start, end int) {
+		var w [3]float64
+		for p := start; p < end; p++ {
+			left, cnt := weights(s, g, pos[p], &w)
+			var v float64
+			for k := 0; k < cnt; k++ {
+				idx := left + k
+				// wrap into [0, n)
+				if idx >= n {
+					idx -= n
+				} else if idx < 0 {
+					idx += n
+				}
+				v += w[k] * field[idx]
+			}
+			out[p] = v
+		}
+	})
+}
+
+// Deposit accumulates per-particle charge onto grid nodes and converts to
+// a density: rho[i] += sum_p q_p W(x_p - x_i) / dx. The charge argument is
+// the charge per macro-particle (all particles share it, matching the
+// two-stream setup); rho is overwritten, not accumulated into.
+//
+// The deposit is parallelized with one private density buffer per worker,
+// reduced in worker order afterwards, which keeps results deterministic.
+func Deposit(s Scheme, g *grid.Grid, pos []float64, charge float64, rho []float64) {
+	if len(rho) != g.N() {
+		panic(fmt.Sprintf("interp: Deposit rho length %d, grid %d", len(rho), g.N()))
+	}
+	n := g.N()
+	invDx := 1 / g.Dx()
+	nw := parallel.NumWorkers()
+	private := make([][]float64, nw)
+	for i := range private {
+		private[i] = make([]float64, n)
+	}
+	used := parallel.ForWorkers(len(pos), func(worker, start, end int) {
+		buf := private[worker]
+		var w [3]float64
+		for p := start; p < end; p++ {
+			left, cnt := weights(s, g, pos[p], &w)
+			for k := 0; k < cnt; k++ {
+				idx := left + k
+				if idx >= n {
+					idx -= n
+				} else if idx < 0 {
+					idx += n
+				}
+				buf[idx] += w[k]
+			}
+		}
+	})
+	for i := range rho {
+		rho[i] = 0
+	}
+	scale := charge * invDx
+	for wkr := 0; wkr < used; wkr++ {
+		buf := private[wkr]
+		for i := range rho {
+			rho[i] += buf[i] * scale
+		}
+	}
+}
+
+// DepositWeighted is Deposit with a per-particle weight array (used for
+// mixed-charge populations and by tests); weight[p] multiplies particle
+// p's contribution, and the final density is divided by dx.
+func DepositWeighted(s Scheme, g *grid.Grid, pos, weight []float64, rho []float64) {
+	if len(rho) != g.N() {
+		panic(fmt.Sprintf("interp: DepositWeighted rho length %d, grid %d", len(rho), g.N()))
+	}
+	if len(weight) != len(pos) {
+		panic(fmt.Sprintf("interp: DepositWeighted weight length %d, pos %d", len(weight), len(pos)))
+	}
+	n := g.N()
+	invDx := 1 / g.Dx()
+	nw := parallel.NumWorkers()
+	private := make([][]float64, nw)
+	for i := range private {
+		private[i] = make([]float64, n)
+	}
+	used := parallel.ForWorkers(len(pos), func(worker, start, end int) {
+		buf := private[worker]
+		var w [3]float64
+		for p := start; p < end; p++ {
+			left, cnt := weights(s, g, pos[p], &w)
+			wp := weight[p]
+			for k := 0; k < cnt; k++ {
+				idx := left + k
+				if idx >= n {
+					idx -= n
+				} else if idx < 0 {
+					idx += n
+				}
+				buf[idx] += w[k] * wp
+			}
+		}
+	})
+	for i := range rho {
+		rho[i] = 0
+	}
+	for wkr := 0; wkr < used; wkr++ {
+		buf := private[wkr]
+		for i := range rho {
+			rho[i] += buf[i] * invDx
+		}
+	}
+}

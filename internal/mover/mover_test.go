@@ -1,0 +1,267 @@
+package mover
+
+import (
+	"math"
+	"testing"
+
+	"dlpic/internal/grid"
+	"dlpic/internal/rng"
+)
+
+func TestKickUpdatesVelocities(t *testing.T) {
+	v := []float64{1, 2, 3}
+	ep := []float64{0.5, -0.5, 0}
+	qm, dt := -1.0, 0.2
+	Kick(v, ep, qm, dt)
+	want := []float64{1 - 0.1, 2 + 0.1, 3}
+	for i := range v {
+		if math.Abs(v[i]-want[i]) > 1e-15 {
+			t.Fatalf("v[%d] = %v, want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestKickDiagnosticSums(t *testing.T) {
+	v := []float64{1, -1}
+	ep := []float64{2, 2}
+	res := Kick(v, ep, 1.0, 0.5) // dv = 1 for both
+	// vOld*vNew: 1*2 + (-1)*0 = 2; vMid: (1+2)/2 + (-1+0)/2 = 1.
+	if math.Abs(res.VProdSum-2) > 1e-15 {
+		t.Errorf("VProdSum = %v, want 2", res.VProdSum)
+	}
+	if math.Abs(res.VMidSum-1) > 1e-15 {
+		t.Errorf("VMidSum = %v, want 1", res.VMidSum)
+	}
+}
+
+func TestKickDeterministicOnLargeArrays(t *testing.T) {
+	r := rng.New(1)
+	n := 300000
+	v1 := make([]float64, n)
+	ep := make([]float64, n)
+	for i := range v1 {
+		v1[i] = r.NormFloat64()
+		ep[i] = r.NormFloat64()
+	}
+	v2 := append([]float64(nil), v1...)
+	r1 := Kick(v1, ep, -1, 0.2)
+	r2 := Kick(v2, ep, -1, 0.2)
+	if r1 != r2 {
+		t.Fatalf("non-deterministic kick sums: %+v vs %+v", r1, r2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("velocity mismatch at %d", i)
+		}
+	}
+}
+
+func TestKickHalfTwiceEqualsKick(t *testing.T) {
+	r := rng.New(2)
+	n := 1000
+	v1 := make([]float64, n)
+	ep := make([]float64, n)
+	for i := range v1 {
+		v1[i] = r.NormFloat64()
+		ep[i] = r.NormFloat64()
+	}
+	v2 := append([]float64(nil), v1...)
+	Kick(v1, ep, -1, 0.2)
+	KickHalf(v2, ep, -1, 0.2)
+	KickHalf(v2, ep, -1, 0.2)
+	for i := range v1 {
+		if math.Abs(v1[i]-v2[i]) > 1e-14 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+}
+
+func TestDriftWrapsPeriodically(t *testing.T) {
+	g := grid.MustNew(8, 1.0)
+	x := []float64{0.95, 0.05, 0.5}
+	v := []float64{1.0, -1.0, 0.0}
+	Drift(x, v, 0.1, g)
+	want := []float64{0.05, 0.95, 0.5}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestDriftLargeExcursion(t *testing.T) {
+	g := grid.MustNew(8, 1.0)
+	x := []float64{0.5}
+	v := []float64{37.25} // many periods in one step
+	Drift(x, v, 1.0, g)
+	if x[0] < 0 || x[0] >= 1 {
+		t.Fatalf("x = %v outside domain", x[0])
+	}
+	if math.Abs(x[0]-0.75) > 1e-9 {
+		t.Fatalf("x = %v, want 0.75", x[0])
+	}
+}
+
+// Leapfrog is time-reversible: kick+drift then drift-back+kick-back
+// returns the exact initial state (up to rounding).
+func TestLeapfrogReversibility(t *testing.T) {
+	g := grid.MustNew(16, 2.0)
+	r := rng.New(3)
+	n := 500
+	x := make([]float64, n)
+	v := make([]float64, n)
+	ep := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * g.Length()
+		v[i] = 0.1 * r.NormFloat64()
+		ep[i] = r.NormFloat64()
+	}
+	x0 := append([]float64(nil), x...)
+	v0 := append([]float64(nil), v...)
+	qm, dt := -1.0, 0.2
+	Kick(v, ep, qm, dt)
+	Drift(x, v, dt, g)
+	// Reverse.
+	Drift(x, v, -dt, g)
+	Kick(v, ep, qm, -dt)
+	for i := range x {
+		if math.Abs(x[i]-x0[i]) > 1e-12 || math.Abs(v[i]-v0[i]) > 1e-12 {
+			t.Fatalf("irreversible at %d: dx=%v dv=%v", i, x[i]-x0[i], v[i]-v0[i])
+		}
+	}
+}
+
+// Leapfrog on a harmonic field E = -x (q/m = 1) conserves the leapfrog
+// invariant and stays bounded over many periods.
+func TestLeapfrogHarmonicStability(t *testing.T) {
+	// Single particle, field evaluated analytically each step.
+	x, v := 1.0, 0.0
+	dt := 0.2
+	// De-stagger: v at t = -dt/2.
+	v -= 0.5 * dt * (-x)
+	for step := 0; step < 10000; step++ {
+		v += dt * (-x)
+		x += dt * v
+		if math.Abs(x) > 1.2 {
+			t.Fatalf("orbit escaped at step %d: x=%v", step, x)
+		}
+	}
+}
+
+func TestBoris2VZeroFieldReducesToLeapfrog(t *testing.T) {
+	g := grid.MustNew(16, 2.0)
+	r := rng.New(4)
+	n := 200
+	x1 := make([]float64, n)
+	vx1 := make([]float64, n)
+	vy := make([]float64, n)
+	ex := make([]float64, n)
+	for i := range x1 {
+		x1[i] = r.Float64() * g.Length()
+		vx1[i] = 0.1 * r.NormFloat64()
+		ex[i] = r.NormFloat64()
+	}
+	x2 := append([]float64(nil), x1...)
+	vx2 := append([]float64(nil), vx1...)
+	qm, dt := -1.0, 0.2
+	Boris2V(x1, vx1, vy, ex, qm, dt, 0, g)
+	Kick(vx2, ex, qm, dt)
+	Drift(x2, vx2, dt, g)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-13 || math.Abs(vx1[i]-vx2[i]) > 1e-13 {
+			t.Fatalf("Boris(B=0) != leapfrog at %d", i)
+		}
+	}
+	for i, v := range vy {
+		if v != 0 {
+			t.Fatalf("vy[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// Pure magnetic rotation preserves speed exactly (Boris property).
+func TestBoris2VRotationPreservesSpeed(t *testing.T) {
+	g := grid.MustNew(16, 10.0)
+	x := []float64{5.0}
+	vx := []float64{0.3}
+	vy := []float64{0.4}
+	ex := []float64{0}
+	speed0 := math.Hypot(vx[0], vy[0])
+	for step := 0; step < 1000; step++ {
+		Boris2V(x, vx, vy, ex, -1.0, 0.1, 2.5, g)
+		if s := math.Hypot(vx[0], vy[0]); math.Abs(s-speed0) > 1e-12 {
+			t.Fatalf("speed drifted at step %d: %v vs %v", step, s, speed0)
+		}
+	}
+}
+
+// Boris gyration frequency matches omega_c = |q/m| B to second order.
+func TestBoris2VGyroFrequency(t *testing.T) {
+	g := grid.MustNew(16, 1000.0)
+	bz := 1.0
+	qm := -1.0
+	dt := 0.01
+	x := []float64{500}
+	vx := []float64{1}
+	vy := []float64{0}
+	ex := []float64{0}
+	// Advance one full analytic gyro-period; vx should return near 1.
+	steps := int(2 * math.Pi / (math.Abs(qm*bz) * dt))
+	for s := 0; s < steps; s++ {
+		Boris2V(x, vx, vy, ex, qm, dt, bz, g)
+	}
+	if math.Abs(vx[0]-1) > 5e-3 || math.Abs(vy[0]) > 5e-2 {
+		t.Fatalf("after one period: vx=%v vy=%v, want ~(1,0)", vx[0], vy[0])
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	g := grid.MustNew(8, 1.0)
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Kick", func() { Kick(make([]float64, 2), make([]float64, 3), 1, 1) })
+	assertPanics("KickHalf", func() { KickHalf(make([]float64, 2), make([]float64, 3), 1, 1) })
+	assertPanics("Drift", func() { Drift(make([]float64, 2), make([]float64, 3), 1, g) })
+	assertPanics("Boris2V", func() {
+		Boris2V(make([]float64, 2), make([]float64, 2), make([]float64, 2), make([]float64, 3), 1, 1, 0, g)
+	})
+}
+
+func BenchmarkKick64k(b *testing.B) {
+	r := rng.New(1)
+	n := 64000
+	v := make([]float64, n)
+	ep := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+		ep[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Kick(v, ep, -1, 0.2)
+	}
+}
+
+func BenchmarkDrift64k(b *testing.B) {
+	g := grid.MustNew(64, 2*math.Pi/3.06)
+	r := rng.New(1)
+	n := 64000
+	x := make([]float64, n)
+	v := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * g.Length()
+		v[i] = 0.2 * r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Drift(x, v, 0.2, g)
+	}
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dlpic/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update. Gradients are not cleared; callers
+	// (the trainer) zero them per batch.
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is plain gradient descent: w -= lr * g.
+type SGD struct{ LR float64 }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return fmt.Sprintf("sgd(lr=%g)", s.LR) }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		tensor.AddScaled(p.W, -s.LR, p.G)
+	}
+}
+
+// Momentum is SGD with classical momentum: v = mu*v + g; w -= lr*v.
+// Per-parameter state is keyed by the weight tensor, which is stable
+// across Params() calls.
+type Momentum struct {
+	LR, Mu float64
+	vel    map[*tensor.Tensor]*tensor.Tensor
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return fmt.Sprintf("momentum(lr=%g,mu=%g)", m.LR, m.Mu) }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(params []*Param) {
+	if m.vel == nil {
+		m.vel = make(map[*tensor.Tensor]*tensor.Tensor)
+	}
+	for _, p := range params {
+		v, ok := m.vel[p.W]
+		if !ok {
+			v = tensor.New(p.W.Shape...)
+			m.vel[p.W] = v
+		}
+		for i := range v.Data {
+			v.Data[i] = m.Mu*v.Data[i] + p.G.Data[i]
+			p.W.Data[i] -= m.LR * v.Data[i]
+		}
+	}
+}
+
+// Adam is the optimizer the paper trains with (lr = 1e-4, batch 64).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*tensor.Tensor]*tensor.Tensor
+	v map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewAdam returns Adam with the paper's learning rate by default
+// (pass lr <= 0 for 1e-4) and the standard beta/epsilon constants.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		lr = 1e-4
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return fmt.Sprintf("adam(lr=%g)", a.LR) }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make(map[*tensor.Tensor]*tensor.Tensor)
+		a.v = make(map[*tensor.Tensor]*tensor.Tensor)
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p.W]
+		if !ok {
+			m = tensor.New(p.W.Shape...)
+			a.m[p.W] = m
+			a.v[p.W] = tensor.New(p.W.Shape...)
+		}
+		v := a.v[p.W]
+		for i := range p.W.Data {
+			g := p.G.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / b1c
+			vHat := v.Data[i] / b2c
+			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// ClipGradNorm scales all gradients so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm. No-op for maxNorm <= 0.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"dlpic/internal/tensor"
+)
+
+// The on-disk format is a gob-encoded netFile: an architecture spec
+// (kind + integer fields per layer) plus flat weight payloads. Loading
+// reconstructs the layers with zero initialization and overwrites the
+// weights, so a loaded model is bit-identical to the saved one.
+
+type layerSpec struct {
+	Kind string
+	Ints []int
+	W, B []float64
+}
+
+type netFile struct {
+	Version int
+	InDim   int
+	Layers  []layerSpec
+}
+
+const fileVersion = 1
+
+func specOf(l Layer) (layerSpec, error) {
+	switch v := l.(type) {
+	case *Dense:
+		return layerSpec{Kind: "dense", Ints: []int{v.InDim, v.OutDim_},
+			W: v.W.Data, B: v.B.Data}, nil
+	case *ReLU:
+		return layerSpec{Kind: "relu"}, nil
+	case *Conv2D:
+		return layerSpec{Kind: "conv2d", Ints: []int{v.InC, v.H, v.W, v.OutC, v.K},
+			W: v.Wt.Data, B: v.B.Data}, nil
+	case *MaxPool2D:
+		return layerSpec{Kind: "maxpool2d", Ints: []int{v.C, v.H, v.W}}, nil
+	case *Residual:
+		// Flatten the two inner dense layers into one spec payload.
+		return layerSpec{Kind: "residual", Ints: []int{v.dim},
+			W: append(append([]float64(nil), v.d1.W.Data...), v.d2.W.Data...),
+			B: append(append([]float64(nil), v.d1.B.Data...), v.d2.B.Data...)}, nil
+	default:
+		return layerSpec{}, fmt.Errorf("nn: cannot serialize layer %T", l)
+	}
+}
+
+func layerOf(s layerSpec) (Layer, error) {
+	switch s.Kind {
+	case "dense":
+		if len(s.Ints) != 2 {
+			return nil, fmt.Errorf("nn: dense spec wants 2 ints, got %d", len(s.Ints))
+		}
+		d := NewDense(s.Ints[0], s.Ints[1], ensureRng(nil))
+		if len(s.W) != d.W.Len() || len(s.B) != d.B.Len() {
+			return nil, fmt.Errorf("nn: dense weight payload mismatch")
+		}
+		copy(d.W.Data, s.W)
+		copy(d.B.Data, s.B)
+		return d, nil
+	case "relu":
+		return NewReLU(), nil
+	case "conv2d":
+		if len(s.Ints) != 5 {
+			return nil, fmt.Errorf("nn: conv2d spec wants 5 ints, got %d", len(s.Ints))
+		}
+		c := NewConv2D(s.Ints[0], s.Ints[1], s.Ints[2], s.Ints[3], s.Ints[4], ensureRng(nil))
+		if len(s.W) != c.Wt.Len() || len(s.B) != c.B.Len() {
+			return nil, fmt.Errorf("nn: conv2d weight payload mismatch")
+		}
+		copy(c.Wt.Data, s.W)
+		copy(c.B.Data, s.B)
+		return c, nil
+	case "maxpool2d":
+		if len(s.Ints) != 3 {
+			return nil, fmt.Errorf("nn: maxpool2d spec wants 3 ints, got %d", len(s.Ints))
+		}
+		return NewMaxPool2D(s.Ints[0], s.Ints[1], s.Ints[2]), nil
+	case "residual":
+		if len(s.Ints) != 1 {
+			return nil, fmt.Errorf("nn: residual spec wants 1 int, got %d", len(s.Ints))
+		}
+		dim := s.Ints[0]
+		b := NewResidual(dim, ensureRng(nil))
+		wLen := dim * dim
+		if len(s.W) != 2*wLen || len(s.B) != 2*dim {
+			return nil, fmt.Errorf("nn: residual weight payload mismatch")
+		}
+		copy(b.d1.W.Data, s.W[:wLen])
+		copy(b.d2.W.Data, s.W[wLen:])
+		copy(b.d1.B.Data, s.B[:dim])
+		copy(b.d2.B.Data, s.B[dim:])
+		return b, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown layer kind %q", s.Kind)
+	}
+}
+
+// Save writes the network architecture and weights to w.
+func Save(net *Network, w io.Writer) error {
+	file := netFile{Version: fileVersion, InDim: net.InDim}
+	for _, l := range net.Layers {
+		s, err := specOf(l)
+		if err != nil {
+			return err
+		}
+		file.Layers = append(file.Layers, s)
+	}
+	return gob.NewEncoder(w).Encode(file)
+}
+
+// Load reads a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var file netFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	if file.Version != fileVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d", file.Version)
+	}
+	layers := make([]Layer, 0, len(file.Layers))
+	for i, s := range file.Layers {
+		l, err := layerOf(s)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		layers = append(layers, l)
+	}
+	return NewNetwork(file.InDim, layers...)
+}
+
+// SaveFile saves the network to path.
+func SaveFile(net *Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(net, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a network from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// GradCheck compares the analytic gradient of net's parameters (under
+// loss) against central finite differences on a given batch. It returns
+// the largest relative error encountered over a sample of parameter
+// entries (stride subsamples large tensors). Used by the test suite for
+// every layer type.
+func GradCheck(net *Network, loss Loss, x, y *tensor.Tensor, eps float64, stride int) float64 {
+	if stride < 1 {
+		stride = 1
+	}
+	pred := net.Forward(x)
+	grad := tensor.New(pred.Shape...)
+	loss.Forward(pred, y, grad)
+	net.ZeroGrad()
+	net.Backward(grad)
+	// Snapshot analytic gradients (optimizer-free), keyed by the stable
+	// weight tensor pointer (Params() returns fresh Param structs).
+	analytic := map[*tensor.Tensor][]float64{}
+	for _, p := range net.Params() {
+		analytic[p.W] = append([]float64(nil), p.G.Data...)
+	}
+	var worst float64
+	for _, p := range net.Params() {
+		for i := 0; i < p.W.Len(); i += stride {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := evalLoss(net, loss, x, y)
+			p.W.Data[i] = orig - eps
+			lm := evalLoss(net, loss, x, y)
+			p.W.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			a := analytic[p.W][i]
+			denom := maxf(1e-8, maxf(absf(a), absf(numeric)))
+			if rel := absf(a-numeric) / denom; rel > worst && absf(a-numeric) > 1e-9 {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}
+
+func evalLoss(net *Network, loss Loss, x, y *tensor.Tensor) float64 {
+	pred := net.Forward(x)
+	grad := tensor.New(pred.Shape...)
+	return loss.Forward(pred, y, grad)
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

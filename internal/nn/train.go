@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"dlpic/internal/rng"
+	"dlpic/internal/tensor"
+)
+
+// TrainConfig drives Fit. The paper's settings are batch 64, Adam with
+// lr = 1e-4, 150 epochs (MLP) / 100 epochs (CNN).
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Loss      Loss
+	// Seed drives minibatch shuffling.
+	Seed uint64
+	// ClipNorm, if positive, clips the global gradient norm per batch.
+	ClipNorm float64
+	// Log, if non-nil, receives one line per epoch.
+	Log io.Writer
+	// LogEvery reduces log volume: epochs are logged when
+	// (epoch+1) % LogEvery == 0 (default 1).
+	LogEvery int
+}
+
+// EpochStats records the trajectory of one epoch.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	ValMAE    float64 // NaN when no validation set was supplied
+	ValMax    float64
+}
+
+// History is the full training trajectory.
+type History struct {
+	Epochs []EpochStats
+}
+
+// Final returns the last epoch's stats (zero value when empty).
+func (h History) Final() EpochStats {
+	if len(h.Epochs) == 0 {
+		return EpochStats{}
+	}
+	return h.Epochs[len(h.Epochs)-1]
+}
+
+// Fit trains the network on (x, y) with optional validation set
+// (xVal/yVal may be nil). Rows of x and y are samples. Returns the
+// training history.
+func Fit(net *Network, x, y, xVal, yVal *tensor.Tensor, cfg TrainConfig) (History, error) {
+	if cfg.Epochs <= 0 {
+		return History{}, fmt.Errorf("nn: Epochs = %d, need > 0", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		return History{}, fmt.Errorf("nn: BatchSize = %d, need > 0", cfg.BatchSize)
+	}
+	if cfg.Optimizer == nil || cfg.Loss == nil {
+		return History{}, fmt.Errorf("nn: Optimizer and Loss are required")
+	}
+	if x.Rows() != y.Rows() {
+		return History{}, fmt.Errorf("nn: sample count mismatch x=%d y=%d", x.Rows(), y.Rows())
+	}
+	if x.Cols() != net.InDim {
+		return History{}, fmt.Errorf("nn: input width %d, network wants %d", x.Cols(), net.InDim)
+	}
+	if y.Cols() != net.OutDim() {
+		return History{}, fmt.Errorf("nn: target width %d, network outputs %d", y.Cols(), net.OutDim())
+	}
+	if (xVal == nil) != (yVal == nil) {
+		return History{}, fmt.Errorf("nn: validation inputs and targets must both be set or both nil")
+	}
+	nSamples := x.Rows()
+	if nSamples == 0 {
+		return History{}, fmt.Errorf("nn: empty training set")
+	}
+	bs := cfg.BatchSize
+	if bs > nSamples {
+		bs = nSamples
+	}
+	r := rng.New(cfg.Seed)
+	perm := make([]int, nSamples)
+	for i := range perm {
+		perm[i] = i
+	}
+	xb := tensor.New(bs, x.Cols())
+	yb := tensor.New(bs, y.Cols())
+	grad := tensor.New(bs, y.Cols())
+	logEvery := cfg.LogEvery
+	if logEvery <= 0 {
+		logEvery = 1
+	}
+	var hist History
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(nSamples, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start+bs <= nSamples; start += bs {
+			// Gather the shuffled batch.
+			for bi := 0; bi < bs; bi++ {
+				src := perm[start+bi]
+				copy(xb.Row(bi), x.Row(src))
+				copy(yb.Row(bi), y.Row(src))
+			}
+			pred := net.Forward(xb)
+			loss := cfg.Loss.Forward(pred, yb, grad)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				return hist, fmt.Errorf("nn: non-finite loss %v at epoch %d batch %d", loss, epoch, batches)
+			}
+			net.ZeroGrad()
+			net.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				ClipGradNorm(net.Params(), cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(net.Params())
+			epochLoss += loss
+			batches++
+		}
+		stats := EpochStats{Epoch: epoch, TrainLoss: epochLoss / float64(batches), ValMAE: math.NaN(), ValMax: math.NaN()}
+		if xVal != nil {
+			m := Evaluate(net, xVal, yVal, bs)
+			stats.ValMAE = m.MAE
+			stats.ValMax = m.MaxErr
+		}
+		hist.Epochs = append(hist.Epochs, stats)
+		if cfg.Log != nil && (epoch+1)%logEvery == 0 {
+			if xVal != nil {
+				fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.6g  val MAE %.6g  val max %.6g\n",
+					epoch+1, cfg.Epochs, stats.TrainLoss, stats.ValMAE, stats.ValMax)
+			} else {
+				fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.6g\n", epoch+1, cfg.Epochs, stats.TrainLoss)
+			}
+		}
+	}
+	return hist, nil
+}
+
+// Metrics are the paper's Table-I error statistics over a dataset.
+type Metrics struct {
+	// MAE is the mean absolute error over all outputs and samples
+	// (paper Eq. 6).
+	MAE float64
+	// MaxErr is the largest absolute error.
+	MaxErr float64
+	// RMSE is the root-mean-square error (extra, not in the paper).
+	RMSE float64
+	// N is the number of samples evaluated.
+	N int
+}
+
+// Evaluate computes the Table-I metrics of the network on (x, y),
+// processing in batches of batchSize.
+func Evaluate(net *Network, x, y *tensor.Tensor, batchSize int) Metrics {
+	n := x.Rows()
+	if n != y.Rows() {
+		panic(fmt.Sprintf("nn: Evaluate sample mismatch %d vs %d", n, y.Rows()))
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	if batchSize > n {
+		batchSize = n
+	}
+	var sumAbs, sumSq, maxErr float64
+	var count int
+	xb := tensor.New(batchSize, x.Cols())
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		rows := end - start
+		var batch *tensor.Tensor
+		if rows == batchSize {
+			batch = xb
+		} else {
+			batch = tensor.New(rows, x.Cols())
+		}
+		for bi := 0; bi < rows; bi++ {
+			copy(batch.Row(bi), x.Row(start+bi))
+		}
+		pred := net.Forward(batch)
+		for bi := 0; bi < rows; bi++ {
+			pr := pred.Row(bi)
+			tr := y.Row(start + bi)
+			for j := range pr {
+				d := math.Abs(pr[j] - tr[j])
+				sumAbs += d
+				sumSq += d * d
+				if d > maxErr {
+					maxErr = d
+				}
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return Metrics{}
+	}
+	return Metrics{
+		MAE:    sumAbs / float64(count),
+		MaxErr: maxErr,
+		RMSE:   math.Sqrt(sumSq / float64(count)),
+		N:      n,
+	}
+}

@@ -1,0 +1,114 @@
+// Package parallel provides small helpers for data-parallel loops used
+// throughout the PIC and neural-network kernels.
+//
+// The helpers favour determinism: reductions performed through
+// ForWorkers always combine per-worker results in worker-index order, so
+// repeated runs with the same seed produce bit-identical output
+// regardless of goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the number of goroutines launched by For and
+// ForWorkers. It defaults to GOMAXPROCS.
+func maxWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// For splits the half-open index range [0, n) into contiguous chunks and
+// runs body(start, end) for each chunk on its own goroutine. It blocks
+// until every chunk completes. body must be safe to call concurrently on
+// disjoint ranges.
+//
+// For small n the loop runs inline on the calling goroutine to avoid
+// scheduling overhead.
+func For(n int, body func(start, end int)) {
+	ForThreshold(n, 2048, body)
+}
+
+// ForThreshold is For with an explicit sequential cutoff: ranges shorter
+// than threshold run inline.
+func ForThreshold(n, threshold int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers()
+	if n < threshold || workers == 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForWorkers runs body(worker, start, end) over [0, n) with one contiguous
+// chunk per worker, passing the worker index so callers can accumulate
+// into private buffers indexed by worker. It returns the number of workers
+// actually used, so callers can reduce buffers [0, used) in order.
+//
+// Unlike For, ForWorkers always partitions the range (even for tiny n)
+// because callers rely on the returned worker count for reductions.
+func ForWorkers(n int, body func(worker, start, end int)) int {
+	if n <= 0 {
+		return 0
+	}
+	workers := maxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, 0, n)
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	used := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		used++
+		wg.Add(1)
+		go func(id, s, e int) {
+			defer wg.Done()
+			body(id, s, e)
+		}(w, start, end)
+	}
+	wg.Wait()
+	return used
+}
+
+// NumWorkers reports the worker count For/ForWorkers would use for a
+// large range. Callers use it to size per-worker scratch buffers.
+func NumWorkers() int { return maxWorkers() }

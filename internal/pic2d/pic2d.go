@@ -1,0 +1,444 @@
+// Package pic2d implements a two-dimensional electrostatic
+// Particle-in-Cell simulator on a doubly periodic box — the first step
+// of the paper's stated future work ("extend the method to study two-
+// and three-dimensional systems"). It mirrors the 1D design: CIC
+// particle-grid interpolation, leapfrog push, spectral Poisson solve,
+// neutralizing ion background, and the same diagnostics, so the
+// phase-space-binning DL field stage can later slot in the same way.
+package pic2d
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dlpic/internal/diag"
+	"dlpic/internal/fft"
+	"dlpic/internal/parallel"
+	"dlpic/internal/poisson"
+	"dlpic/internal/rng"
+)
+
+// Config describes the 2D system. Two counter-streaming beams drift
+// along x at +-V0 with isotropic thermal spread Vth.
+type Config struct {
+	// NX, NY are grid cells; LX, LY the box lengths.
+	NX, NY int
+	LX, LY float64
+	// Dt is the time step.
+	Dt float64
+	// ParticlesPerCell is the macro-electron count per cell.
+	ParticlesPerCell int
+	// V0, Vth configure the beams.
+	V0, Vth float64
+	// PerturbAmp seeds the (PerturbMode, 0) mode via x-displacement.
+	PerturbAmp  float64
+	PerturbMode int
+	// Physics normalization, as in the 1D code.
+	Eps0, Wp, QOverM float64
+	// DiagMode is the monitored kx mode of the y-averaged field.
+	DiagMode int
+	// Seed drives the loading.
+	Seed uint64
+}
+
+// Default returns a 2D configuration analogous to the paper's 1D box:
+// the same length and mode structure along x, a square-ish box in y.
+func Default() Config {
+	l := 2 * math.Pi / 3.06
+	return Config{
+		NX: 64, NY: 16, LX: l, LY: l / 4,
+		Dt: 0.2, ParticlesPerCell: 50,
+		V0: 0.2, Vth: 0.025,
+		Eps0: 1, Wp: 1, QOverM: -1,
+		DiagMode: 1, Seed: 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NX < 2 || c.NY < 2:
+		return fmt.Errorf("pic2d: grid %dx%d too small", c.NX, c.NY)
+	case !(c.LX > 0) || !(c.LY > 0):
+		return fmt.Errorf("pic2d: non-positive box %vx%v", c.LX, c.LY)
+	case !(c.Dt > 0):
+		return fmt.Errorf("pic2d: non-positive dt")
+	case c.ParticlesPerCell < 1:
+		return fmt.Errorf("pic2d: ParticlesPerCell = %d", c.ParticlesPerCell)
+	case c.Vth < 0:
+		return fmt.Errorf("pic2d: negative vth")
+	case !(c.Eps0 > 0) || !(c.Wp > 0):
+		return fmt.Errorf("pic2d: non-positive eps0/wp")
+	case c.QOverM == 0:
+		return fmt.Errorf("pic2d: zero q/m")
+	case c.DiagMode < 0 || c.DiagMode > c.NX/2:
+		return fmt.Errorf("pic2d: diag mode %d out of range", c.DiagMode)
+	}
+	if c.Dt*c.Wp >= 2 {
+		return fmt.Errorf("pic2d: leapfrog unstable: wp*dt = %v", c.Dt*c.Wp)
+	}
+	return nil
+}
+
+// NumParticles returns the total macro-electron count.
+func (c Config) NumParticles() int { return c.NX * c.NY * c.ParticlesPerCell }
+
+// Simulation is a running 2D system.
+type Simulation struct {
+	Cfg Config
+
+	// Particle state (SoA).
+	X, Y, VX, VY []float64
+	// Charge and Mass per macro-particle.
+	Charge, Mass float64
+
+	// Grid fields, row-major [iy*NX + ix].
+	Rho, Phi, Ex, Ey []float64
+
+	// Per-particle gathered fields (scratch).
+	epx, epy []float64
+
+	ionRho float64
+	solver *poisson.Spectral2D
+	dx, dy float64
+	planX  *fft.Plan
+
+	stepN int
+	time  float64
+}
+
+// New loads the beams and computes the initial field.
+func New(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	solver, err := poisson.NewSpectral2D(cfg.NX, cfg.NY, cfg.LX, cfg.LY, cfg.Eps0)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.NumParticles()
+	if n%2 != 0 {
+		n++ // keep the beams symmetric
+	}
+	area := cfg.LX * cfg.LY
+	// wp^2 = (N q / A)(q/m)/eps0 => q = wp^2 eps0 A / (N (q/m)).
+	q := cfg.Wp * cfg.Wp * cfg.Eps0 * area / (float64(n) * cfg.QOverM)
+	m := q / cfg.QOverM
+	cells := cfg.NX * cfg.NY
+	s := &Simulation{
+		Cfg:    cfg,
+		X:      make([]float64, n),
+		Y:      make([]float64, n),
+		VX:     make([]float64, n),
+		VY:     make([]float64, n),
+		Charge: q, Mass: m,
+		Rho: make([]float64, cells),
+		Phi: make([]float64, cells),
+		Ex:  make([]float64, cells),
+		Ey:  make([]float64, cells),
+		epx: make([]float64, n),
+		epy: make([]float64, n),
+		// Neutralizing background: -N q / A.
+		ionRho: -float64(n) * q / area,
+		solver: solver,
+		dx:     cfg.LX / float64(cfg.NX),
+		dy:     cfg.LY / float64(cfg.NY),
+		planX:  fft.MustPlan(cfg.NX),
+	}
+	r := rng.New(cfg.Seed)
+	half := n / 2
+	for i := 0; i < n; i++ {
+		x := r.Float64() * cfg.LX
+		if cfg.PerturbAmp != 0 && cfg.PerturbMode > 0 {
+			x += cfg.PerturbAmp * math.Sin(2*math.Pi*float64(cfg.PerturbMode)*x/cfg.LX)
+			x = math.Mod(x, cfg.LX)
+			if x < 0 {
+				x += cfg.LX
+			}
+		}
+		s.X[i] = x
+		s.Y[i] = r.Float64() * cfg.LY
+		drift := cfg.V0
+		if i >= half {
+			drift = -cfg.V0
+		}
+		s.VX[i] = drift
+		if cfg.Vth > 0 {
+			s.VX[i] += cfg.Vth * r.NormFloat64()
+			s.VY[i] = cfg.Vth * r.NormFloat64()
+		}
+	}
+	if err := s.solveField(); err != nil {
+		return nil, err
+	}
+	// De-stagger velocities by -dt/2.
+	s.gather()
+	h := 0.5 * cfg.QOverM * cfg.Dt
+	for i := range s.VX {
+		s.VX[i] -= h * s.epx[i]
+		s.VY[i] -= h * s.epy[i]
+	}
+	return s, nil
+}
+
+// Time returns the current simulation time.
+func (s *Simulation) Time() float64 { return s.time }
+
+// StepCount returns the completed step count.
+func (s *Simulation) StepCount() int { return s.stepN }
+
+// deposit accumulates the bilinear (CIC) charge density.
+func (s *Simulation) deposit() {
+	nx, ny := s.Cfg.NX, s.Cfg.NY
+	cells := nx * ny
+	nw := parallel.NumWorkers()
+	private := make([][]float64, nw)
+	for i := range private {
+		private[i] = make([]float64, cells)
+	}
+	invDx, invDy := 1/s.dx, 1/s.dy
+	used := parallel.ForWorkers(len(s.X), func(worker, start, end int) {
+		buf := private[worker]
+		for p := start; p < end; p++ {
+			hx := s.X[p] * invDx
+			hy := s.Y[p] * invDy
+			ix := int(hx)
+			iy := int(hy)
+			fx := hx - float64(ix)
+			fy := hy - float64(iy)
+			if ix >= nx {
+				ix -= nx
+			}
+			if iy >= ny {
+				iy -= ny
+			}
+			ix1 := ix + 1
+			if ix1 == nx {
+				ix1 = 0
+			}
+			iy1 := iy + 1
+			if iy1 == ny {
+				iy1 = 0
+			}
+			buf[iy*nx+ix] += (1 - fx) * (1 - fy)
+			buf[iy*nx+ix1] += fx * (1 - fy)
+			buf[iy1*nx+ix] += (1 - fx) * fy
+			buf[iy1*nx+ix1] += fx * fy
+		}
+	})
+	scale := s.Charge * invDx * invDy
+	for i := range s.Rho {
+		s.Rho[i] = s.ionRho
+	}
+	for w := 0; w < used; w++ {
+		buf := private[w]
+		for i := range s.Rho {
+			s.Rho[i] += buf[i] * scale
+		}
+	}
+}
+
+// solveField runs deposit -> Poisson -> E = -grad(phi).
+func (s *Simulation) solveField() error {
+	s.deposit()
+	if err := s.solver.Solve(s.Phi, s.Rho); err != nil {
+		return err
+	}
+	nx, ny := s.Cfg.NX, s.Cfg.NY
+	inv2dx, inv2dy := 1/(2*s.dx), 1/(2*s.dy)
+	for iy := 0; iy < ny; iy++ {
+		iym := iy - 1
+		if iym < 0 {
+			iym = ny - 1
+		}
+		iyp := iy + 1
+		if iyp == ny {
+			iyp = 0
+		}
+		for ix := 0; ix < nx; ix++ {
+			ixm := ix - 1
+			if ixm < 0 {
+				ixm = nx - 1
+			}
+			ixp := ix + 1
+			if ixp == nx {
+				ixp = 0
+			}
+			s.Ex[iy*nx+ix] = -(s.Phi[iy*nx+ixp] - s.Phi[iy*nx+ixm]) * inv2dx
+			s.Ey[iy*nx+ix] = -(s.Phi[iyp*nx+ix] - s.Phi[iym*nx+ix]) * inv2dy
+		}
+	}
+	return nil
+}
+
+// gather interpolates (Ex, Ey) to the particles with CIC weights.
+func (s *Simulation) gather() {
+	nx, ny := s.Cfg.NX, s.Cfg.NY
+	invDx, invDy := 1/s.dx, 1/s.dy
+	parallel.For(len(s.X), func(start, end int) {
+		for p := start; p < end; p++ {
+			hx := s.X[p] * invDx
+			hy := s.Y[p] * invDy
+			ix := int(hx)
+			iy := int(hy)
+			fx := hx - float64(ix)
+			fy := hy - float64(iy)
+			if ix >= nx {
+				ix -= nx
+			}
+			if iy >= ny {
+				iy -= ny
+			}
+			ix1 := ix + 1
+			if ix1 == nx {
+				ix1 = 0
+			}
+			iy1 := iy + 1
+			if iy1 == ny {
+				iy1 = 0
+			}
+			w00 := (1 - fx) * (1 - fy)
+			w10 := fx * (1 - fy)
+			w01 := (1 - fx) * fy
+			w11 := fx * fy
+			s.epx[p] = w00*s.Ex[iy*nx+ix] + w10*s.Ex[iy*nx+ix1] +
+				w01*s.Ex[iy1*nx+ix] + w11*s.Ex[iy1*nx+ix1]
+			s.epy[p] = w00*s.Ey[iy*nx+ix] + w10*s.Ey[iy*nx+ix1] +
+				w01*s.Ey[iy1*nx+ix] + w11*s.Ey[iy1*nx+ix1]
+		}
+	})
+}
+
+// Step advances one leapfrog step and returns the diagnostics sample at
+// the starting time level.
+func (s *Simulation) Step() (diag.Sample, error) {
+	cfg := s.Cfg
+	s.gather()
+	qm, dt := cfg.QOverM, cfg.Dt
+	nw := parallel.NumWorkers()
+	kin := make([]float64, nw)
+	momX := make([]float64, nw)
+	used := parallel.ForWorkers(len(s.X), func(worker, start, end int) {
+		var k, mx float64
+		for i := start; i < end; i++ {
+			vxOld, vyOld := s.VX[i], s.VY[i]
+			vxNew := vxOld + qm*s.epx[i]*dt
+			vyNew := vyOld + qm*s.epy[i]*dt
+			s.VX[i] = vxNew
+			s.VY[i] = vyNew
+			k += vxOld*vxNew + vyOld*vyNew
+			mx += 0.5 * (vxOld + vxNew)
+		}
+		kin[worker] = k
+		momX[worker] = mx
+	})
+	var kinSum, momSum float64
+	for w := 0; w < used; w++ {
+		kinSum += kin[w]
+		momSum += momX[w]
+	}
+	sample := diag.Sample{
+		Step: s.stepN, Time: s.time,
+		Kinetic:  0.5 * s.Mass * kinSum,
+		Field:    s.fieldEnergy(),
+		Momentum: s.Mass * momSum,
+		ModeAmp:  s.modeAmplitude(cfg.DiagMode),
+	}
+	sample.Total = sample.Kinetic + sample.Field
+	// Drift with periodic wrap.
+	lx, ly := cfg.LX, cfg.LY
+	parallel.For(len(s.X), func(start, end int) {
+		for i := start; i < end; i++ {
+			x := s.X[i] + s.VX[i]*dt
+			for x >= lx {
+				x -= lx
+			}
+			for x < 0 {
+				x += lx
+			}
+			s.X[i] = x
+			y := s.Y[i] + s.VY[i]*dt
+			for y >= ly {
+				y -= ly
+			}
+			for y < 0 {
+				y += ly
+			}
+			s.Y[i] = y
+		}
+	})
+	if err := s.solveField(); err != nil {
+		return sample, err
+	}
+	s.stepN++
+	s.time += dt
+	return sample, nil
+}
+
+// Run advances n steps, recording diagnostics.
+func (s *Simulation) Run(n int, rec *diag.Recorder) error {
+	if n < 0 {
+		return errors.New("pic2d: negative step count")
+	}
+	for i := 0; i < n; i++ {
+		sample, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			rec.Add(sample)
+		}
+	}
+	return nil
+}
+
+// fieldEnergy returns eps0/2 integral(|E|^2).
+func (s *Simulation) fieldEnergy() float64 {
+	var sum float64
+	for i := range s.Ex {
+		sum += s.Ex[i]*s.Ex[i] + s.Ey[i]*s.Ey[i]
+	}
+	return 0.5 * s.Cfg.Eps0 * sum * s.dx * s.dy
+}
+
+// modeAmplitude returns the amplitude of kx mode m of the y-averaged Ex.
+func (s *Simulation) modeAmplitude(m int) float64 {
+	nx, ny := s.Cfg.NX, s.Cfg.NY
+	avg := make([]float64, nx)
+	for iy := 0; iy < ny; iy++ {
+		row := s.Ex[iy*nx : (iy+1)*nx]
+		for ix, v := range row {
+			avg[ix] += v
+		}
+	}
+	for ix := range avg {
+		avg[ix] /= float64(ny)
+	}
+	return diag.ModeAmplitude(s.planX, avg, m)
+}
+
+// TotalCharge integrates rho over the box (machine zero for a neutral
+// system).
+func (s *Simulation) TotalCharge() float64 {
+	var sum float64
+	for _, v := range s.Rho {
+		sum += v
+	}
+	return sum * s.dx * s.dy
+}
+
+// CheckFinite scans for NaN/Inf in particles and fields.
+func (s *Simulation) CheckFinite() error {
+	for i := range s.X {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsNaN(s.VX[i]) || math.IsNaN(s.VY[i]) {
+			return fmt.Errorf("pic2d: non-finite particle %d", i)
+		}
+	}
+	for i := range s.Ex {
+		if math.IsNaN(s.Ex[i]) || math.IsInf(s.Ex[i], 0) || math.IsNaN(s.Ey[i]) || math.IsInf(s.Ey[i], 0) {
+			return fmt.Errorf("pic2d: non-finite field at %d", i)
+		}
+	}
+	return nil
+}

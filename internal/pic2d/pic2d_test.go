@@ -1,0 +1,222 @@
+package pic2d
+
+import (
+	"math"
+	"testing"
+
+	"dlpic/internal/diag"
+	"dlpic/internal/theory"
+)
+
+func fastCfg() Config {
+	cfg := Default()
+	cfg.ParticlesPerCell = 20
+	cfg.Vth = 0
+	cfg.PerturbAmp = 1e-4 * cfg.LX
+	cfg.PerturbMode = 1
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NX = 1 },
+		func(c *Config) { c.NY = 0 },
+		func(c *Config) { c.LX = 0 },
+		func(c *Config) { c.LY = -1 },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.ParticlesPerCell = 0 },
+		func(c *Config) { c.Vth = -1 },
+		func(c *Config) { c.Eps0 = 0 },
+		func(c *Config) { c.QOverM = 0 },
+		func(c *Config) { c.DiagMode = 999 },
+		func(c *Config) { c.Dt = 5 },
+	}
+	for i, mutate := range bad {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestChargeNeutrality(t *testing.T) {
+	sim, err := New(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := sim.TotalCharge(); math.Abs(q) > 1e-9 {
+		t.Fatalf("net charge %v", q)
+	}
+}
+
+func TestNormalizationGivesWp(t *testing.T) {
+	cfg := fastCfg()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wp^2 = (N q / A)(q/m)/eps0 must equal 1.
+	n := float64(len(sim.X))
+	area := cfg.LX * cfg.LY
+	wp2 := (n * sim.Charge / area) * cfg.QOverM / cfg.Eps0
+	if math.Abs(wp2-1) > 1e-12 {
+		t.Fatalf("wp^2 = %v", wp2)
+	}
+}
+
+func TestParticlesStayInBox(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Vth = 0.05
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(50, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sim.X {
+		if sim.X[i] < 0 || sim.X[i] >= cfg.LX || sim.Y[i] < 0 || sim.Y[i] >= cfg.LY {
+			t.Fatalf("particle %d escaped: (%v, %v)", i, sim.X[i], sim.Y[i])
+		}
+	}
+	if err := sim.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		sim, err := New(fastCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec diag.Recorder
+		if err := sim.Run(20, &rec); err != nil {
+			t.Fatal(err)
+		}
+		tot, _ := rec.Series("total")
+		return tot[len(tot)-1]
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+// The 2D two-stream instability with k along x must reproduce the same
+// linear growth rate as the 1D problem (the transverse direction is a
+// spectator for the (m, 0) mode).
+func TestTwoStream2DGrowthMatches1DTheory(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ParticlesPerCell = 60
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := sim.Run(150, &rec); err != nil {
+		t.Fatal(err)
+	}
+	amps, _ := rec.Series("mode")
+	times := rec.Times()
+	t0, t1, err := diag.AutoGrowthWindow(times, amps, 0.02, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := diag.FitGrowthRate(times, amps, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := theory.TwoStream{Wp: cfg.Wp, V0: cfg.V0}.GrowthRate(2 * math.Pi / cfg.LX)
+	if math.Abs(fit.Gamma-want)/want > 0.2 {
+		t.Fatalf("2D growth %v, 1D theory %v (%.0f%% off)", fit.Gamma, want, 100*math.Abs(fit.Gamma-want)/want)
+	}
+}
+
+func TestEnergyBounded2D(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ParticlesPerCell = 40
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := sim.Run(150, &rec); err != nil {
+		t.Fatal(err)
+	}
+	tot, _ := rec.Series("total")
+	if v := diag.MaxRelativeVariation(tot); v > 0.08 {
+		t.Fatalf("2D energy variation %.2f%%", 100*v)
+	}
+}
+
+func TestMomentumConservation2D(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ParticlesPerCell = 40
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := sim.Run(100, &rec); err != nil {
+		t.Fatal(err)
+	}
+	mom, _ := rec.Series("momentum")
+	scale := sim.Mass * float64(len(sim.X)) / 2 * cfg.V0
+	if d := math.Abs(diag.Drift(mom)) / scale; d > 1e-6 {
+		t.Fatalf("x-momentum drifted %.2e of beam scale", d)
+	}
+}
+
+func TestColdUniformPlasmaQuiescent2D(t *testing.T) {
+	// No perturbation, no drift, no thermal spread: with random loading
+	// only shot noise remains; the field energy must stay tiny compared
+	// to a driven run.
+	cfg := fastCfg()
+	cfg.V0 = 0
+	cfg.PerturbAmp = 0
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := sim.Run(50, &rec); err != nil {
+		t.Fatal(err)
+	}
+	field, _ := rec.Series("field")
+	for i, f := range field {
+		if f > 1e-3 {
+			t.Fatalf("noise field energy %v at step %d too large", f, i)
+		}
+	}
+}
+
+func TestRunNegative(t *testing.T) {
+	sim, err := New(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(-1, nil); err == nil {
+		t.Fatal("negative steps should error")
+	}
+}
+
+func BenchmarkStep2D(b *testing.B) {
+	cfg := Default()
+	cfg.ParticlesPerCell = 50
+	sim, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"dlpic/internal/fft"
+)
+
+// Spectral2D solves the periodic Poisson equation on a 2D nx-by-ny grid
+// spanning [0,Lx) x [0,Ly): Laplacian(phi) = -rho/eps0 with zero-mean phi.
+// Fields are stored row-major: f[iy*nx + ix].
+//
+// This is the first substrate step toward the paper's stated future work
+// of extending the DL-PIC method to two- and three-dimensional systems;
+// none of the 1D experiments depend on it.
+type Spectral2D struct {
+	nx, ny  int
+	eps0    float64
+	planX   *fft.Plan
+	planY   *fft.Plan
+	invK2   []float64 // per (ky, kx) inverse eigenvalue, 0 at the mean mode
+	rowBuf  []complex128
+	colBuf  []complex128
+	specBuf []complex128
+}
+
+// NewSpectral2D builds a 2D periodic spectral solver.
+func NewSpectral2D(nx, ny int, lx, ly, eps0 float64) (*Spectral2D, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("poisson: 2D grid must be at least 2x2, got %dx%d", nx, ny)
+	}
+	if !(lx > 0) || !(ly > 0) {
+		return nil, fmt.Errorf("poisson: 2D domain lengths must be positive")
+	}
+	s := &Spectral2D{
+		nx: nx, ny: ny, eps0: eps0,
+		planX:   fft.MustPlan(nx),
+		planY:   fft.MustPlan(ny),
+		invK2:   make([]float64, nx*ny),
+		rowBuf:  make([]complex128, nx),
+		colBuf:  make([]complex128, ny),
+		specBuf: make([]complex128, nx*ny),
+	}
+	for ky := 0; ky < ny; ky++ {
+		my := ky
+		if my > ny/2 {
+			my -= ny
+		}
+		kyv := 2 * math.Pi * float64(my) / ly
+		for kx := 0; kx < nx; kx++ {
+			mx := kx
+			if mx > nx/2 {
+				mx -= nx
+			}
+			kxv := 2 * math.Pi * float64(mx) / lx
+			k2 := kxv*kxv + kyv*kyv
+			if k2 > 0 {
+				s.invK2[ky*nx+kx] = 1 / k2
+			}
+		}
+	}
+	return s, nil
+}
+
+// Name identifies the solver.
+func (s *Spectral2D) Name() string { return "spectral-2d" }
+
+// Solve computes the zero-mean potential phi from rho (both row-major
+// ny*nx arrays).
+func (s *Spectral2D) Solve(phi, rho []float64) error {
+	n := s.nx * s.ny
+	if len(phi) != n || len(rho) != n {
+		return fmt.Errorf("poisson: 2D solve length mismatch phi=%d rho=%d n=%d", len(phi), len(rho), n)
+	}
+	// Forward transform: rows then columns.
+	for iy := 0; iy < s.ny; iy++ {
+		row := s.specBuf[iy*s.nx : (iy+1)*s.nx]
+		for ix := 0; ix < s.nx; ix++ {
+			row[ix] = complex(rho[iy*s.nx+ix], 0)
+		}
+		s.planX.Forward(row)
+	}
+	for ix := 0; ix < s.nx; ix++ {
+		for iy := 0; iy < s.ny; iy++ {
+			s.colBuf[iy] = s.specBuf[iy*s.nx+ix]
+		}
+		s.planY.Forward(s.colBuf)
+		for iy := 0; iy < s.ny; iy++ {
+			s.specBuf[iy*s.nx+ix] = s.colBuf[iy]
+		}
+	}
+	// Apply the inverse symbol.
+	for i := range s.specBuf {
+		s.specBuf[i] *= complex(s.invK2[i]/s.eps0, 0)
+	}
+	s.specBuf[0] = 0
+	// Inverse transform: columns then rows.
+	for ix := 0; ix < s.nx; ix++ {
+		for iy := 0; iy < s.ny; iy++ {
+			s.colBuf[iy] = s.specBuf[iy*s.nx+ix]
+		}
+		s.planY.Inverse(s.colBuf)
+		for iy := 0; iy < s.ny; iy++ {
+			s.specBuf[iy*s.nx+ix] = s.colBuf[iy]
+		}
+	}
+	for iy := 0; iy < s.ny; iy++ {
+		row := s.specBuf[iy*s.nx : (iy+1)*s.nx]
+		s.planX.Inverse(row)
+		for ix := 0; ix < s.nx; ix++ {
+			phi[iy*s.nx+ix] = real(row[ix])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+package poisson
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlpic/internal/grid"
+	"dlpic/internal/rng"
+)
+
+func sineRho(g *grid.Grid, mode int, amp float64) []float64 {
+	rho := make([]float64, g.N())
+	k := 2 * math.Pi * float64(mode) / g.Length()
+	for i := range rho {
+		rho[i] = amp * math.Sin(k*g.X(i))
+	}
+	return rho
+}
+
+func randomZeroMeanRho(r *rng.Source, g *grid.Grid) []float64 {
+	rho := make([]float64, g.N())
+	for i := range rho {
+		rho[i] = r.NormFloat64()
+	}
+	g.SubtractMean(rho)
+	return rho
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// The continuum spectral solver inverts single Fourier modes exactly:
+// for rho = A sin(kx), phi = A/(eps0 k^2) sin(kx).
+func TestSpectralSingleModeExact(t *testing.T) {
+	g := grid.MustNew(64, 2*math.Pi/3.06)
+	s := NewSpectral(g, 1.0)
+	for _, mode := range []int{1, 2, 5} {
+		amp := 0.3
+		rho := sineRho(g, mode, amp)
+		phi := make([]float64, g.N())
+		if err := s.Solve(phi, rho); err != nil {
+			t.Fatal(err)
+		}
+		k := 2 * math.Pi * float64(mode) / g.Length()
+		for i := range phi {
+			want := amp / (k * k) * math.Sin(k*g.X(i))
+			if math.Abs(phi[i]-want) > 1e-12*amp/(k*k)*100 {
+				t.Fatalf("mode %d, i=%d: phi=%v want=%v", mode, i, phi[i], want)
+			}
+		}
+	}
+}
+
+func TestSpectralEps0Scaling(t *testing.T) {
+	g := grid.MustNew(32, 1.0)
+	rho := sineRho(g, 1, 1.0)
+	phi1 := make([]float64, g.N())
+	phi2 := make([]float64, g.N())
+	if err := NewSpectral(g, 1.0).Solve(phi1, rho); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSpectral(g, 2.0).Solve(phi2, rho); err != nil {
+		t.Fatal(err)
+	}
+	for i := range phi1 {
+		if math.Abs(phi1[i]-2*phi2[i]) > 1e-12 {
+			t.Fatalf("eps0 scaling broken at %d: %v vs %v", i, phi1[i], phi2[i])
+		}
+	}
+}
+
+// SpectralFD satisfies the discrete difference equation to machine
+// precision for arbitrary zero-mean right-hand sides.
+func TestSpectralFDResidualProperty(t *testing.T) {
+	g := grid.MustNew(48, 3.0)
+	s := NewSpectralFD(g, 1.0)
+	r := rng.New(1)
+	f := func() bool {
+		rho := randomZeroMeanRho(r, g)
+		phi := make([]float64, g.N())
+		if err := s.Solve(phi, rho); err != nil {
+			return false
+		}
+		return Residual(g, phi, rho, 1.0) < 1e-9
+	}
+	for i := 0; i < 25; i++ {
+		if !f() {
+			t.Fatal("spectral-fd residual too large")
+		}
+	}
+}
+
+func TestCGMatchesSpectralFD(t *testing.T) {
+	g := grid.MustNew(64, 2.0)
+	fd := NewSpectralFD(g, 1.0)
+	cg := NewCG(g, 1.0, 1e-12, 0)
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		rho := randomZeroMeanRho(r, g)
+		phiFD := make([]float64, g.N())
+		phiCG := make([]float64, g.N())
+		if err := fd.Solve(phiFD, rho); err != nil {
+			t.Fatal(err)
+		}
+		if err := cg.Solve(phiCG, rho); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(phiFD, phiCG); d > 1e-8 {
+			t.Fatalf("trial %d: CG and spectral-fd differ by %v", trial, d)
+		}
+		if cg.LastIterations <= 0 {
+			t.Fatalf("CG reported %d iterations", cg.LastIterations)
+		}
+	}
+}
+
+func TestSORMatchesSpectralFD(t *testing.T) {
+	g := grid.MustNew(32, 2.0)
+	fd := NewSpectralFD(g, 1.0)
+	sor, err := NewSOR(g, 1.0, 1.7, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	rho := randomZeroMeanRho(r, g)
+	phiFD := make([]float64, g.N())
+	phiSOR := make([]float64, g.N())
+	if err := fd.Solve(phiFD, rho); err != nil {
+		t.Fatal(err)
+	}
+	if err := sor.Solve(phiSOR, rho); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(phiFD, phiSOR); d > 1e-6 {
+		t.Fatalf("SOR and spectral-fd differ by %v after %d sweeps", d, sor.LastIterations)
+	}
+}
+
+func TestSOROmegaValidation(t *testing.T) {
+	g := grid.MustNew(8, 1.0)
+	for _, omega := range []float64{0, -1, 2, 2.5} {
+		if _, err := NewSOR(g, 1.0, omega, 0, 0); err == nil {
+			t.Errorf("NewSOR(omega=%v) should fail", omega)
+		}
+	}
+}
+
+// The solution of the periodic problem is defined up to a constant; all
+// solvers return the zero-mean representative.
+func TestSolversReturnZeroMeanPhi(t *testing.T) {
+	g := grid.MustNew(32, 1.5)
+	r := rng.New(4)
+	rho := randomZeroMeanRho(r, g)
+	sor, _ := NewSOR(g, 1.0, 1.5, 0, 0)
+	solvers := []Solver{NewSpectral(g, 1.0), NewSpectralFD(g, 1.0), NewCG(g, 1.0, 0, 0), sor}
+	for _, s := range solvers {
+		phi := make([]float64, g.N())
+		if err := s.Solve(phi, rho); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if m := math.Abs(g.Mean(phi)); m > 1e-10 {
+			t.Errorf("%s: phi mean %v, want 0", s.Name(), m)
+		}
+	}
+}
+
+// Non-neutral rho (non-zero mean) must not blow up: solvers implicitly
+// neutralize by projecting, matching the physics of a neutralizing
+// background.
+func TestSolversHandleNonNeutralRho(t *testing.T) {
+	g := grid.MustNew(32, 1.0)
+	rho := sineRho(g, 1, 1.0)
+	for i := range rho {
+		rho[i] += 5.0 // large DC offset
+	}
+	phiRef := make([]float64, g.N())
+	if err := NewSpectral(g, 1.0).Solve(phiRef, sineRho(g, 1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	phi := make([]float64, g.N())
+	if err := NewSpectral(g, 1.0).Solve(phi, rho); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(phi, phiRef); d > 1e-10 {
+		t.Fatalf("DC offset changed the solution by %v", d)
+	}
+}
+
+func TestEFromPhi(t *testing.T) {
+	g := grid.MustNew(128, 2*math.Pi)
+	phi := make([]float64, g.N())
+	for i := range phi {
+		phi[i] = math.Sin(g.X(i))
+	}
+	e := make([]float64, g.N())
+	EFromPhi(g, e, phi)
+	factor := math.Sin(g.Dx()) / g.Dx() // centered-difference attenuation
+	for i := range e {
+		want := -math.Cos(g.X(i)) * factor
+		if math.Abs(e[i]-want) > 1e-10 {
+			t.Fatalf("i=%d: E=%v want=%v", i, e[i], want)
+		}
+	}
+}
+
+func TestSolveEHelper(t *testing.T) {
+	g := grid.MustNew(64, 2.0)
+	s := NewSpectral(g, 1.0)
+	rho := sineRho(g, 1, 0.5)
+	e := make([]float64, g.N())
+	scratch := make([]float64, g.N())
+	if err := SolveE(s, g, e, rho, scratch); err != nil {
+		t.Fatal(err)
+	}
+	// For rho = A sin(kx): phi = A/k^2 sin(kx), E = -A/k cos(kx) (with the
+	// centered-difference attenuation factor on the gradient).
+	k := 2 * math.Pi / g.Length()
+	factor := math.Sin(k*g.Dx()) / (k * g.Dx())
+	for i := range e {
+		want := -0.5 / k * math.Cos(k*g.X(i)) * factor
+		if math.Abs(e[i]-want) > 1e-10 {
+			t.Fatalf("i=%d: E=%v want=%v", i, e[i], want)
+		}
+	}
+}
+
+func TestSolveEDirectSingleMode(t *testing.T) {
+	g := grid.MustNew(64, 2.0)
+	s := NewSpectral(g, 1.0)
+	rho := sineRho(g, 2, 0.7)
+	e := make([]float64, g.N())
+	if err := s.SolveEDirect(e, rho); err != nil {
+		t.Fatal(err)
+	}
+	k := 2 * math.Pi * 2 / g.Length()
+	for i := range e {
+		want := -0.7 / k * math.Cos(k*g.X(i))
+		if math.Abs(e[i]-want) > 1e-11 {
+			t.Fatalf("i=%d: E=%v want=%v", i, e[i], want)
+		}
+	}
+}
+
+// Gauss's law in integral form: on the periodic domain the integral of E
+// over the box is zero (no net field), and dE/dx = rho/eps0 holds for the
+// spectral direct solve.
+func TestGaussLawProperty(t *testing.T) {
+	g := grid.MustNew(64, 2.0)
+	s := NewSpectral(g, 1.0)
+	r := rng.New(5)
+	f := func() bool {
+		rho := randomZeroMeanRho(r, g)
+		// Band-limit: remove the Nyquist mode, which SolveEDirect zeroes by
+		// construction (its derivative has no faithful representation).
+		for i := range rho {
+			if i%2 == 1 {
+				// leave as-is; instead filter through a forward/backward pass below
+				break
+			}
+		}
+		e := make([]float64, g.N())
+		if err := s.SolveEDirect(e, rho); err != nil {
+			return false
+		}
+		if math.Abs(g.Integral(e)) > 1e-9 {
+			return false
+		}
+		// Spectral derivative check on low modes via the mode amplitudes of
+		// dE/dx vs rho: compare integrals against each sine mode.
+		for mode := 1; mode <= 4; mode++ {
+			k := 2 * math.Pi * float64(mode) / g.Length()
+			var sinRho, cosE float64
+			for i := 0; i < g.N(); i++ {
+				x := g.X(i)
+				sinRho += rho[i] * math.Sin(k*x)
+				cosE += e[i] * math.Cos(k*x)
+			}
+			// For rho_k sin component a: E has -a/k cos component.
+			if math.Abs(cosE+sinRho/k) > 1e-8*(1+math.Abs(sinRho)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletTridiagQuadratic(t *testing.T) {
+	// phi'' = -1, phi(0)=phi(L)=0 -> phi(x) = x(L-x)/2.
+	n, L := 101, 2.0
+	rho := make([]float64, n)
+	for i := range rho {
+		rho[i] = 1.0
+	}
+	phi := make([]float64, n)
+	if err := SolveDirichletTridiag(phi, rho, L, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	dx := L / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := float64(i) * dx
+		want := x * (L - x) / 2
+		if math.Abs(phi[i]-want) > 1e-10 {
+			t.Fatalf("i=%d: phi=%v want=%v", i, phi[i], want)
+		}
+	}
+}
+
+func TestDirichletTridiagValidation(t *testing.T) {
+	if err := SolveDirichletTridiag(make([]float64, 2), make([]float64, 2), 1, 1); err == nil {
+		t.Error("n=2 should fail")
+	}
+	if err := SolveDirichletTridiag(make([]float64, 5), make([]float64, 4), 1, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSolveLengthMismatchErrors(t *testing.T) {
+	g := grid.MustNew(16, 1.0)
+	sor, _ := NewSOR(g, 1.0, 1.5, 0, 0)
+	solvers := []Solver{NewSpectral(g, 1.0), NewSpectralFD(g, 1.0), NewCG(g, 1.0, 0, 0), sor}
+	for _, s := range solvers {
+		if err := s.Solve(make([]float64, 8), make([]float64, 16)); err == nil {
+			t.Errorf("%s: expected length-mismatch error", s.Name())
+		}
+	}
+}
+
+func TestSpectral2DSingleMode(t *testing.T) {
+	nx, ny := 32, 16
+	lx, ly := 2.0, 1.0
+	s, err := NewSpectral2D(nx, ny, lx, ly, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kx := 2 * math.Pi * 2 / lx
+	ky := 2 * math.Pi * 1 / ly
+	rho := make([]float64, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			x := float64(ix) * lx / float64(nx)
+			y := float64(iy) * ly / float64(ny)
+			rho[iy*nx+ix] = math.Sin(kx*x) * math.Cos(ky*y)
+		}
+	}
+	phi := make([]float64, nx*ny)
+	if err := s.Solve(phi, rho); err != nil {
+		t.Fatal(err)
+	}
+	den := kx*kx + ky*ky
+	for i := range phi {
+		want := rho[i] / den
+		if math.Abs(phi[i]-want) > 1e-11 {
+			t.Fatalf("i=%d: phi=%v want=%v", i, phi[i], want)
+		}
+	}
+}
+
+func TestSpectral2DValidation(t *testing.T) {
+	if _, err := NewSpectral2D(1, 8, 1, 1, 1); err == nil {
+		t.Error("1xN grid should fail")
+	}
+	if _, err := NewSpectral2D(8, 8, 0, 1, 1); err == nil {
+		t.Error("zero length should fail")
+	}
+	s, _ := NewSpectral2D(8, 8, 1, 1, 1)
+	if err := s.Solve(make([]float64, 8), make([]float64, 64)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func BenchmarkSpectralSolve64(b *testing.B) {
+	g := grid.MustNew(64, 2*math.Pi/3.06)
+	s := NewSpectral(g, 1.0)
+	rho := randomZeroMeanRho(rng.New(1), g)
+	phi := make([]float64, g.N())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Solve(phi, rho); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGSolve64(b *testing.B) {
+	g := grid.MustNew(64, 2*math.Pi/3.06)
+	s := NewCG(g, 1.0, 1e-10, 0)
+	rho := randomZeroMeanRho(rng.New(1), g)
+	phi := make([]float64, g.N())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Solve(phi, rho); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSORSolve64(b *testing.B) {
+	g := grid.MustNew(64, 2*math.Pi/3.06)
+	s, _ := NewSOR(g, 1.0, 1.7, 1e-8, 0)
+	rho := randomZeroMeanRho(rng.New(1), g)
+	phi := make([]float64, g.N())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Solve(phi, rho); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

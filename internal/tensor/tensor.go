@@ -1,0 +1,388 @@
+// Package tensor provides the dense numerical arrays and the matrix
+// kernels that power the neural-network framework (internal/nn).
+//
+// Tensors are row-major float64 with an explicit shape. The hot kernel is
+// MatMul, a cache-blocked, goroutine-parallel GEMM with optional operand
+// transposes — enough to express dense layers, im2col convolutions and
+// all their gradients. Everything is deterministic: parallel partitions
+// write disjoint output rows, so no reduction order ambiguity exists.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"dlpic/internal/parallel"
+	"dlpic/internal/rng"
+)
+
+// Tensor is a dense row-major array with shape metadata.
+type Tensor struct {
+	// Shape holds the extent of each dimension; Data has length
+	// prod(Shape).
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (not copied) with the given shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Rows and Cols are the 2D accessors (panic unless the tensor is 2D).
+func (t *Tensor) Rows() int { t.want2D(); return t.Shape[0] }
+
+// Cols returns the second dimension of a 2D tensor.
+func (t *Tensor) Cols() int { t.want2D(); return t.Shape[1] }
+
+func (t *Tensor) want2D() {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: expected 2D tensor, have shape %v", t.Shape))
+	}
+}
+
+// At returns element (i, j) of a 2D tensor.
+func (t *Tensor) At(i, j int) float64 { t.want2D(); return t.Data[i*t.Shape[1]+j] }
+
+// Set assigns element (i, j) of a 2D tensor.
+func (t *Tensor) Set(i, j int, v float64) { t.want2D(); t.Data[i*t.Shape[1]+j] = v }
+
+// Row returns a view of row i of a 2D tensor.
+func (t *Tensor) Row(i int) []float64 {
+	t.want2D()
+	c := t.Shape[1]
+	return t.Data[i*c : (i+1)*c]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{Shape: append([]int(nil), t.Shape...), Data: append([]float64(nil), t.Data...)}
+}
+
+// Reshape returns a view with a new shape of equal size (shares Data).
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomNormal fills the tensor with N(0, std) variates.
+func (t *Tensor) RandomNormal(r *rng.Source, std float64) {
+	for i := range t.Data {
+		t.Data[i] = std * r.NormFloat64()
+	}
+}
+
+// RandomUniform fills the tensor with U(-limit, limit) variates.
+func (t *Tensor) RandomUniform(r *rng.Source, limit float64) {
+	for i := range t.Data {
+		t.Data[i] = (2*r.Float64() - 1) * limit
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise and reduction kernels
+
+// Add computes dst = a + b elementwise (equal sizes required).
+func Add(dst, a, b *Tensor) {
+	checkSameLen("Add", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// AddScaled computes dst += alpha * src.
+func AddScaled(dst *Tensor, alpha float64, src *Tensor) {
+	checkSameLen("AddScaled", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * src.Data[i]
+	}
+}
+
+// Scale multiplies the tensor by alpha in place.
+func (t *Tensor) Scale(alpha float64) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Hadamard computes dst = a .* b elementwise.
+func Hadamard(dst, a, b *Tensor) {
+	checkSameLen("Hadamard", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// AddRowVector adds the 1D vector v to every row of the 2D tensor t
+// (bias broadcast).
+func AddRowVector(t *Tensor, v []float64) {
+	t.want2D()
+	if len(v) != t.Shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d, cols %d", len(v), t.Shape[1]))
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// SumRows writes the column sums of the 2D tensor into out (length cols):
+// out[j] = sum_i t[i][j]. Used for bias gradients.
+func SumRows(out []float64, t *Tensor) {
+	t.want2D()
+	rows, cols := t.Shape[0], t.Shape[1]
+	if len(out) != cols {
+		panic(fmt.Sprintf("tensor: SumRows out length %d, cols %d", len(out), cols))
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute value in the tensor (0 for empty).
+func (t *Tensor) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// HasNaN reports whether the tensor contains NaN or Inf.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkSameLen(op string, ts ...*Tensor) {
+	n := ts[0].Len()
+	for _, t := range ts[1:] {
+		if t.Len() != n {
+			panic(fmt.Sprintf("tensor: %s size mismatch %d vs %d", op, n, t.Len()))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+
+// MatMul computes dst = op(a) * op(b) where op optionally transposes:
+// op(a) is a if !transA else a^T. All tensors must be 2D with consistent
+// shapes; dst may not alias a or b. The multiply is parallelized over
+// output rows.
+func MatMul(dst, a, b *Tensor, transA, transB bool) {
+	dst.want2D()
+	a.want2D()
+	b.want2D()
+	am, ak := a.Shape[0], a.Shape[1]
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := b.Shape[0], b.Shape[1]
+	if transB {
+		bk, bn = bn, bk
+	}
+	if ak != bk {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d (transA=%v transB=%v)", ak, bk, transA, transB))
+	}
+	if dst.Shape[0] != am || dst.Shape[1] != bn {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.Shape, am, bn))
+	}
+	if &dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0] {
+		panic("tensor: MatMul dst aliases an operand")
+	}
+	switch {
+	case !transA && !transB:
+		matMulNN(dst, a, b)
+	case !transA && transB:
+		matMulNT(dst, a, b)
+	case transA && !transB:
+		matMulTN(dst, a, b)
+	default:
+		matMulTT(dst, a, b)
+	}
+}
+
+// threshold below which the row loop runs inline (tiny matrices).
+const gemmParThreshold = 8
+
+// matMulNN: dst[i][j] = sum_k a[i][k] b[k][j]  (ikj loop, axpy inner).
+func matMulNN(dst, a, b *Tensor) {
+	m, kk := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
+		for i := start; i < end; i++ {
+			di := dst.Data[i*n : (i+1)*n]
+			for j := range di {
+				di[j] = 0
+			}
+			ai := a.Data[i*kk : (i+1)*kk]
+			for k := 0; k < kk; k++ {
+				aik := ai[k]
+				if aik == 0 {
+					continue
+				}
+				bk := b.Data[k*n : (k+1)*n]
+				for j, bv := range bk {
+					di[j] += aik * bv
+				}
+			}
+		}
+	})
+}
+
+// matMulNT: dst[i][j] = dot(a[i,:], b[j,:]).
+func matMulNT(dst, a, b *Tensor) {
+	m, kk := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
+		for i := start; i < end; i++ {
+			ai := a.Data[i*kk : (i+1)*kk]
+			di := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*kk : (j+1)*kk]
+				var s float64
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				di[j] = s
+			}
+		}
+	})
+}
+
+// matMulTN: dst[i][j] = sum_k a[k][i] b[k][j]; parallel over output rows
+// i (columns of a), accumulating k-major for contiguous b access.
+func matMulTN(dst, a, b *Tensor) {
+	kk, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
+		for i := start; i < end; i++ {
+			di := dst.Data[i*n : (i+1)*n]
+			for j := range di {
+				di[j] = 0
+			}
+			for k := 0; k < kk; k++ {
+				aki := a.Data[k*m+i]
+				if aki == 0 {
+					continue
+				}
+				bk := b.Data[k*n : (k+1)*n]
+				for j, bv := range bk {
+					di[j] += aki * bv
+				}
+			}
+		}
+	})
+}
+
+// matMulTT: dst[i][j] = sum_k a[k][i] b[j][k] (rare; used only in tests).
+func matMulTT(dst, a, b *Tensor) {
+	kk, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
+		for i := start; i < end; i++ {
+			di := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*kk : (j+1)*kk]
+				var s float64
+				for k := 0; k < kk; k++ {
+					s += a.Data[k*m+i] * bj[k]
+				}
+				di[j] = s
+			}
+		}
+	})
+}
+
+// MatVec computes dst = a * x for a 2D a and vectors x, dst.
+func MatVec(dst []float64, a *Tensor, x []float64) {
+	a.want2D()
+	m, n := a.Shape[0], a.Shape[1]
+	if len(x) != n || len(dst) != m {
+		panic(fmt.Sprintf("tensor: MatVec shapes a=%v x=%d dst=%d", a.Shape, len(x), len(dst)))
+	}
+	parallel.ForThreshold(m, 64, func(start, end int) {
+		for i := start; i < end; i++ {
+			row := a.Data[i*n : (i+1)*n]
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			dst[i] = s
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBohmGrossColdLimit(t *testing.T) {
+	if w := BohmGross(3.06, 1, 0); w != 1 {
+		t.Fatalf("cold Langmuir frequency %v, want wp", w)
+	}
+}
+
+func TestBohmGrossThermalShift(t *testing.T) {
+	k, wp, vth := 3.06, 1.0, 0.05
+	want := math.Sqrt(1 + 3*k*k*vth*vth)
+	if w := BohmGross(k, wp, vth); math.Abs(w-want) > 1e-14 {
+		t.Fatalf("BohmGross %v, want %v", w, want)
+	}
+}
+
+// Property: omega >= wp and increases monotonically with k.
+func TestBohmGrossMonotoneProperty(t *testing.T) {
+	f := func(kRaw, vthRaw uint8) bool {
+		k := float64(kRaw)/16 + 0.1
+		vth := float64(vthRaw) / 512
+		w1 := BohmGross(k, 1, vth)
+		w2 := BohmGross(k+0.5, 1, vth)
+		return w1 >= 1 && w2 >= w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLandauDampingKnownValue(t *testing.T) {
+	// k lD = 0.5: the approximation gives gamma/wp ~ 0.151; the exact
+	// kinetic value is ~0.153.
+	got := LandauDampingRate(0.5, 1, 1)
+	if math.Abs(got-0.1514) > 0.002 {
+		t.Fatalf("gamma(k lD = 0.5) = %v, want ~0.1514", got)
+	}
+}
+
+func TestLandauDampingLimits(t *testing.T) {
+	// Strongly suppressed for long wavelengths.
+	if g := LandauDampingRate(0.1, 1, 1); g > 1e-15 {
+		t.Fatalf("k lD = 0.1 damping %v, want ~0", g)
+	}
+	// Invalid inputs.
+	if LandauDampingRate(0, 1, 1) != 0 || LandauDampingRate(1, 0, 1) != 0 || LandauDampingRate(1, 1, 0) != 0 {
+		t.Fatal("non-positive inputs should return 0")
+	}
+}
+
+// Property: damping increases with k lD below the approximation's
+// maximum at k lD = 1/sqrt(3) ~ 0.577.
+func TestLandauDampingMonotoneProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		kld := 0.1 + float64(raw)/1024 // in (0.1, 0.35)
+		g1 := LandauDampingRate(kld, 1, 1)
+		g2 := LandauDampingRate(kld+0.01, 1, 1)
+		return g2 >= g1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

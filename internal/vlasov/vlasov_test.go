@@ -1,0 +1,299 @@
+package vlasov
+
+import (
+	"math"
+	"testing"
+
+	"dlpic/internal/diag"
+	"dlpic/internal/theory"
+)
+
+func twoStreamCfg() (Config, TwoStreamInit) {
+	cfg := Default()
+	init := TwoStreamInit{V0: 0.2, Vth: 0.03, Amp: 1e-4, Mode: 1}
+	return cfg, init
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Default()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NX = 2 },
+		func(c *Config) { c.NV = 2 },
+		func(c *Config) { c.Length = 0 },
+		func(c *Config) { c.VMax = c.VMin },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.Wp = 0 },
+		func(c *Config) { c.QOverM = 0 },
+		func(c *Config) { c.DiagMode = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewRejectsUnresolvableBeams(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	init.Vth = 1e-6 // far below dv
+	if _, err := New(cfg, init); err == nil {
+		t.Fatal("unresolvable beams should be rejected")
+	}
+}
+
+func TestInitialDensityNormalized(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean density must be 1 (the normalization that fixes wp).
+	mass := s.Mass()
+	want := cfg.Length // density 1 over the box
+	if math.Abs(mass-want)/want > 1e-12 {
+		t.Fatalf("mass %v, want %v", mass, want)
+	}
+	// The seeded perturbation shows up in the initial field.
+	if diag.ModeAmplitude(s.plan, s.E, 1) <= 0 {
+		t.Fatal("seeded mode missing from initial field")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Mass()
+	if err := s.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(s.Mass()-m0) / m0; d > 1e-6 {
+		t.Fatalf("mass drifted by %v", d)
+	}
+}
+
+func TestFreeStreamingPreservesProfile(t *testing.T) {
+	// Without a field (uniform density => E = 0 exactly), advection must
+	// transport the distribution without distorting the v-profile.
+	cfg := Default()
+	cfg.NX, cfg.NV = 32, 64
+	init := TwoStreamInit{V0: 0.2, Vth: 0.05, Amp: 0, Mode: 0}
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), s.F...)
+	if err := s.Run(50, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform in x at every v: profile identical to the start.
+	var worst float64
+	for i := range s.F {
+		if d := math.Abs(s.F[i] - before[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("free streaming distorted a uniform profile by %v", worst)
+	}
+}
+
+// The headline Vlasov validation: the two-stream growth rate matches
+// linear theory — with *no particle noise*, the exponential phase is
+// razor clean (R2 ~ 1).
+func TestVlasovTwoStreamGrowthRate(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := s.Run(300, &rec); err != nil { // t = 30
+		t.Fatal(err)
+	}
+	amps, _ := rec.Series("mode")
+	times := rec.Times()
+	t0, t1, err := diag.AutoGrowthWindow(times, amps, 0.001, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := diag.FitGrowthRate(times, amps, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := theory.TwoStream{Wp: cfg.Wp, V0: init.V0, Vth: init.Vth}
+	k1 := 2 * math.Pi / cfg.Length
+	want := ts.GrowthRateWarm(k1)
+	if math.Abs(fit.Gamma-want)/want > 0.08 {
+		t.Fatalf("Vlasov growth %v, warm theory %v (%.1f%% off)",
+			fit.Gamma, want, 100*math.Abs(fit.Gamma-want)/want)
+	}
+	if fit.R2 < 0.998 {
+		t.Fatalf("noise-free growth should be razor clean: R2 = %v", fit.R2)
+	}
+}
+
+// Energy conservation through the instability.
+func TestVlasovEnergyConservation(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := s.Run(300, &rec); err != nil {
+		t.Fatal(err)
+	}
+	tot, _ := rec.Series("total")
+	if v := diag.MaxRelativeVariation(tot); v > 0.03 {
+		t.Fatalf("Vlasov energy variation %.2f%%", 100*v)
+	}
+}
+
+// Momentum stays at its (zero) initial value for symmetric beams.
+func TestVlasovMomentumConservation(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := s.Run(200, &rec); err != nil {
+		t.Fatal(err)
+	}
+	mom, _ := rec.Series("momentum")
+	// Scale: one beam's |momentum|.
+	scale := 0.5 * s.m * init.V0 * cfg.Length
+	if d := math.Abs(diag.Drift(mom)) / scale; d > 1e-3 {
+		t.Fatalf("momentum drifted %.2e of beam scale", d)
+	}
+}
+
+// Landau damping: a warm plasma mode decays at the kinetic rate — a
+// validation completely inaccessible to cold-beam tests and a signature
+// that the v-advection resolves fine phase-space filamentation.
+func TestVlasovLandauDamping(t *testing.T) {
+	// Standard setup: k lD = 0.5 with wp = 1 => vth = 0.5/k.
+	cfg := Default()
+	cfg.NX = 32
+	cfg.NV = 256
+	k := 0.5
+	cfg.Length = 2 * math.Pi / k
+	cfg.VMin, cfg.VMax = -6, 6 // window in units of vth = 1
+	cfg.Dt = 0.05
+	init := TwoStreamInit{V0: 0, Vth: 1.0, Amp: 0.01, Mode: 1}
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec diag.Recorder
+	if err := s.Run(400, &rec); err != nil { // t = 20
+		t.Fatal(err)
+	}
+	amps, _ := rec.Series("mode")
+	times := rec.Times()
+	// Fit the decay of the oscillation envelope: sample local maxima.
+	var peakT, peakA []float64
+	for i := 1; i < len(amps)-1; i++ {
+		if amps[i] > amps[i-1] && amps[i] >= amps[i+1] && amps[i] > 1e-8 {
+			peakT = append(peakT, times[i])
+			peakA = append(peakA, amps[i])
+		}
+	}
+	if len(peakT) < 4 {
+		t.Fatalf("too few envelope peaks: %d", len(peakT))
+	}
+	// Only the initial linear-damping phase (before recurrence).
+	var ft, fa []float64
+	for i := range peakT {
+		if peakT[i] <= 15 {
+			ft = append(ft, peakT[i])
+			fa = append(fa, peakA[i])
+		}
+	}
+	fit, err := diag.FitGrowthRate(ft, fa, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -theory.LandauDampingRate(k, cfg.Wp, 1.0)
+	if math.Abs(fit.Gamma-want) > 0.25*math.Abs(want) {
+		t.Fatalf("Landau damping rate %v, theory %v", fit.Gamma, want)
+	}
+}
+
+func TestCountsMatchesHistogramScale(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := 16000
+	counts := make([]float64, len(s.F))
+	if err := s.Counts(np, counts); err != nil {
+		t.Fatal(err)
+	}
+	var tot float64
+	for _, c := range counts {
+		tot += c
+	}
+	if math.Abs(tot-float64(np)) > 1e-6*float64(np) {
+		t.Fatalf("counts total %v, want %d", tot, np)
+	}
+	if err := s.Counts(np, make([]float64, 3)); err == nil {
+		t.Fatal("wrong length should error")
+	}
+}
+
+func TestMinFStaysSmall(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Cubic undershoot exists but must stay a small fraction of the peak.
+	var peak float64
+	for _, fv := range s.F {
+		if fv > peak {
+			peak = fv
+		}
+	}
+	if minF := s.MinF(); -minF > 0.05*peak {
+		t.Fatalf("undershoot %v vs peak %v", minF, peak)
+	}
+}
+
+func TestRunNegativeSteps(t *testing.T) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(-1, nil); err == nil {
+		t.Fatal("negative steps should error")
+	}
+}
+
+func BenchmarkVlasovStep(b *testing.B) {
+	cfg, init := twoStreamCfg()
+	s, err := New(cfg, init)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
