@@ -1,0 +1,30 @@
+# Developer and CI entry points. `make ci` is the tier-1 gate.
+
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the packages with concurrent kernels and the sweep engine
+# under the race detector.
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/interp/ ./internal/mover/ \
+		./internal/pic/ ./internal/pic2d/ ./internal/sweep/ ./internal/dataset/ \
+		./internal/tensor/ ./internal/vlasov/
+
+# bench measures the parallel hot path and sweep throughput at 1, 4 and
+# all cores (bit-identical physics at every -cpu setting).
+bench:
+	$(GO) test -run xxx -bench 'HotPath|Sweep' -cpu 1,4,8 -benchtime 2s .
+
+ci: build vet test

@@ -28,6 +28,7 @@ import (
 	"dlpic/internal/pic"
 	"dlpic/internal/poisson"
 	"dlpic/internal/rng"
+	"dlpic/internal/sweep"
 	"dlpic/internal/tensor"
 )
 
@@ -352,6 +353,64 @@ func BenchmarkTraining_MLPEpoch(b *testing.B) {
 		if _, err := nn.Fit(net, p.Train.Inputs, p.Train.Targets, nil, nil, nn.TrainConfig{
 			Epochs: 1, BatchSize: 64, Optimizer: nn.NewAdam(1e-3), Loss: nn.MSE{}, Seed: uint64(i),
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel hot path and sweep throughput. Run with -cpu 1,4,8 to
+// measure multi-core scaling; the deterministic chunked kernels produce
+// bit-identical physics at every setting.
+
+// BenchmarkHotPath_Deposit times a CIC deposit at the paper's full
+// particle count (64,000) — the dominant scatter kernel of the step.
+func BenchmarkHotPath_Deposit(b *testing.B) {
+	cfg := dlpic.DefaultConfig()
+	g := grid.MustNew(cfg.Cells, cfg.Length)
+	r := rng.New(21)
+	pos := make([]float64, cfg.NumParticles())
+	for i := range pos {
+		pos[i] = r.Float64() * cfg.Length
+	}
+	rho := make([]float64, g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interp.Deposit(interp.CIC, g, pos, -1, rho)
+	}
+}
+
+// BenchmarkHotPath_FullStep times one traditional-PIC step at the
+// paper's full scale (64 cells x 1000 particles/cell).
+func BenchmarkHotPath_FullStep(b *testing.B) {
+	cfg := dlpic.DefaultConfig()
+	sim, err := pic.New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_TwoStreamGrid times a 4-scenario two-stream sweep
+// through the concurrent engine (Workers = GOMAXPROCS, so -cpu scales
+// the pool).
+func BenchmarkSweep_TwoStreamGrid(b *testing.B) {
+	base := dlpic.DefaultConfig()
+	base.Cells = 32
+	base.ParticlesPerCell = 125
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scs := sweep.Grid(base, []float64{0.15, 0.2}, []float64{0, 0.025}, 1, 25, 1)
+		results := sweep.Run(scs, sweep.Options{SkipFit: true})
+		if err := sweep.FirstError(results); err != nil {
 			b.Fatal(err)
 		}
 	}

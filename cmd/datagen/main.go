@@ -15,9 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"dlpic/internal/cliutil"
 	"dlpic/internal/dataset"
 	"dlpic/internal/interp"
 	"dlpic/internal/phasespace"
@@ -37,31 +36,17 @@ func main() {
 		nv      = flag.Int("nv", 64, "phase-space velocity bins")
 		binning = flag.String("binning", "NGP", "phase-space binning: NGP | CIC")
 		seed    = flag.Uint64("seed", 1, "root seed")
+		workers = flag.Int("workers", 0, "concurrent sweep runs (0 = all cores); corpus is identical for any value")
 	)
 	flag.Parse()
-	if err := run(*out, *paper, *v0s, *vths, *repeats, *steps, *every, *ppc, *nv, *binning, *seed); err != nil {
+	if err := run(*out, *paper, *v0s, *vths, *repeats, *steps, *every, *ppc, *nv, *binning, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func parseFloats(s string) ([]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad float %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
-func run(out string, paper bool, v0sRaw, vthsRaw string, repeats, steps, every, ppc, nv int, binning string, seed uint64) error {
+func run(out string, paper bool, v0sRaw, vthsRaw string, repeats, steps, every, ppc, nv int, binning string, seed uint64, workers int) error {
 	cfg := pic.Default()
 	if !paper {
 		cfg.ParticlesPerCell = 250
@@ -77,7 +62,7 @@ func run(out string, paper bool, v0sRaw, vthsRaw string, repeats, steps, every, 
 	}
 	spec.Binning = bin
 
-	opts := dataset.GenerateOpts{Base: cfg, Spec: spec, Seed: seed}
+	opts := dataset.GenerateOpts{Base: cfg, Spec: spec, Seed: seed, Workers: workers}
 	if paper {
 		opts.V0s = []float64{0.05, 0.1, 0.15, 0.18, 0.3}
 		opts.Vths = []float64{0.0, 0.001, 0.005, 0.01}
@@ -87,12 +72,12 @@ func run(out string, paper bool, v0sRaw, vthsRaw string, repeats, steps, every, 
 		opts.Vths = []float64{0.0, 0.005}
 		opts.Repeats, opts.Steps, opts.SampleEvery = 2, 200, 2
 	}
-	if v0s, err := parseFloats(v0sRaw); err != nil {
+	if v0s, err := cliutil.ParseFloats(v0sRaw); err != nil {
 		return err
 	} else if v0s != nil {
 		opts.V0s = v0s
 	}
-	if vths, err := parseFloats(vthsRaw); err != nil {
+	if vths, err := cliutil.ParseFloats(vthsRaw); err != nil {
 		return err
 	} else if vths != nil {
 		opts.Vths = vths

@@ -20,6 +20,25 @@
 //	fit, _ := dlpic.MeasureGrowthRate(&rec)
 //	theory := dlpic.TheoreticalGrowthRate(cfg)
 //	fmt.Printf("growth: %.3f (theory %.3f)\n", fit.Gamma, theory)
+//
+// Scenario sweeps. Many-run workloads (parameter scans, corpus
+// generation, convergence studies) go through the concurrent sweep
+// engine instead of hand-rolled loops. SweepGrid builds a scenario list
+// with pre-derived seeds; RunSweep fans it across a bounded worker pool
+// and returns per-scenario recorders, growth-rate fits and conservation
+// metrics in scenario order:
+//
+//	base := dlpic.DefaultConfig()
+//	scs := dlpic.SweepGrid(base, []float64{0.1, 0.2, 0.3}, []float64{0, 0.025}, 2, 200, 1)
+//	results := dlpic.RunSweep(scs, dlpic.SweepRunOpts{Workers: 0}) // 0 = all cores
+//	if err := dlpic.FirstSweepError(results); err != nil { ... }
+//	for _, r := range results {
+//	    fmt.Printf("%s: gamma %.3f (theory %.3f)\n", r.Scenario.Name, r.Growth.Gamma, r.TheoryGamma)
+//	}
+//
+// Every hot-path kernel reduces through the deterministic chunked
+// primitives of internal/parallel, so simulations — and whole sweeps —
+// are bit-identical at any GOMAXPROCS and any sweep worker count.
 package dlpic
 
 import (
@@ -33,6 +52,7 @@ import (
 	"dlpic/internal/phasespace"
 	"dlpic/internal/pic"
 	"dlpic/internal/rng"
+	"dlpic/internal/sweep"
 	"dlpic/internal/theory"
 	"dlpic/internal/vlasov"
 )
@@ -264,6 +284,46 @@ func TrainSolver(arch SolverOpts, train, val *Dataset, tc TrainConfig) (*NNSolve
 // normalized corpus.
 func EvaluateSolver(s *NNSolver, ds *Dataset) Metrics {
 	return nn.Evaluate(s.Net, ds.Inputs, ds.Targets, 64)
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent scenario sweeps
+
+// Sweep engine re-exports (see internal/sweep for the full API).
+type (
+	// SweepScenario is one named PIC run of a sweep.
+	SweepScenario = sweep.Scenario
+	// SweepResult carries one scenario's recorder, growth fit and
+	// conservation metrics.
+	SweepResult = sweep.Result
+	// SweepRunOpts bounds the worker pool and selects the field method.
+	SweepRunOpts = sweep.Options
+	// VlasovScenario / VlasovSweepResult are the Vlasov counterparts.
+	VlasovScenario    = sweep.VlasovScenario
+	VlasovSweepResult = sweep.VlasovResult
+)
+
+// SweepGrid builds the v0 x vth x repeats scenario cross product over a
+// base configuration with seeds pre-derived in scenario order.
+func SweepGrid(base Config, v0s, vths []float64, repeats, steps int, seed uint64) []SweepScenario {
+	return sweep.Grid(base, v0s, vths, repeats, steps, seed)
+}
+
+// RunSweep fans the scenarios across a bounded worker pool and returns
+// results in scenario order; per-scenario failures land in Result.Err.
+func RunSweep(scenarios []SweepScenario, opts SweepRunOpts) []SweepResult {
+	return sweep.Run(scenarios, opts)
+}
+
+// RunVlasovSweep is RunSweep for Vlasov-Poisson scenarios.
+func RunVlasovSweep(scenarios []VlasovScenario, opts SweepRunOpts) []VlasovSweepResult {
+	return sweep.RunVlasov(scenarios, opts)
+}
+
+// FirstSweepError returns the first per-scenario error of a sweep, or
+// nil when every scenario succeeded.
+func FirstSweepError(results []SweepResult) error {
+	return sweep.FirstError(results)
 }
 
 // MeasureGrowthRate fits the exponential growth of the recorded

@@ -233,3 +233,34 @@ func TestTrainSolverRequiresNormalizedCorpus(t *testing.T) {
 		t.Fatal("un-normalized corpus should be rejected")
 	}
 }
+
+func TestScenarioSweepThroughFacade(t *testing.T) {
+	base := DefaultConfig()
+	base.Cells = 32
+	base.ParticlesPerCell = 60
+	scs := SweepGrid(base, []float64{0.15, 0.2}, []float64{0.01}, 1, 30, 5)
+	if len(scs) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(scs))
+	}
+	results := RunSweep(scs, SweepRunOpts{Workers: 2})
+	if err := FirstSweepError(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Rec.Len() != 30 {
+			t.Fatalf("scenario %d: %d samples, want 30", i, r.Rec.Len())
+		}
+		if r.TheoryGamma <= 0 {
+			t.Fatalf("scenario %d: theory gamma %v, want > 0", i, r.TheoryGamma)
+		}
+	}
+	// Same grid, serial pool: bit-identical diagnostics.
+	serial := RunSweep(scs, SweepRunOpts{Workers: 1})
+	for i := range serial {
+		for j := range serial[i].Rec.Samples {
+			if serial[i].Rec.Samples[j] != results[i].Rec.Samples[j] {
+				t.Fatalf("scenario %d sample %d differs between worker counts", i, j)
+			}
+		}
+	}
+}

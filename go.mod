@@ -1,0 +1,3 @@
+module dlpic
+
+go 1.24

@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
+	"dlpic/internal/parallel"
 	"dlpic/internal/phasespace"
 	"dlpic/internal/pic"
 	"dlpic/internal/rng"
@@ -64,7 +67,13 @@ type GenerateOpts struct {
 	Spec phasespace.GridSpec
 	// Seed derives every run's seed.
 	Seed uint64
-	// Progress, if non-nil, is called after each completed run.
+	// Workers bounds the sweep pool (<= 0 selects GOMAXPROCS). Runs are
+	// independent simulations writing disjoint sample rows, and every
+	// run's seed is pre-derived in run order, so the corpus is identical
+	// for any worker count.
+	Workers int
+	// Progress, if non-nil, is called after each completed run. Calls
+	// are serialized.
 	Progress func(done, total int)
 }
 
@@ -91,7 +100,11 @@ func (o GenerateOpts) Validate() error {
 	return nil
 }
 
-// Generate runs the sweep and collects the corpus.
+// Generate runs the sweep and collects the corpus. The runs execute
+// concurrently on a bounded pool (see GenerateOpts.Workers): each run
+// owns a full simulation plus histogram and writes a disjoint block of
+// sample rows, with its seed pre-derived from the root seed in run
+// order, so the corpus is byte-identical for every worker count.
 func Generate(o GenerateOpts) (*Dataset, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -105,13 +118,16 @@ func Generate(o GenerateOpts) (*Dataset, error) {
 		Inputs:  tensor.New(n, o.Spec.Size()),
 		Targets: tensor.New(n, o.Base.Cells),
 	}
-	hist, err := phasespace.NewHist(o.Spec)
-	if err != nil {
-		return nil, err
+	// Build the run list upfront, consuming the seed stream in the same
+	// v0-outer, vth, repeat order the serial sweep used.
+	type runSpec struct {
+		cfg      pic.Config
+		v0, vth  float64
+		rep, row int
 	}
+	runs := make([]runSpec, 0, totalRuns)
 	seeder := rng.New(o.Seed)
 	row := 0
-	runIdx := 0
 	for _, v0 := range o.V0s {
 		for _, vth := range o.Vths {
 			for rep := 0; rep < o.Repeats; rep++ {
@@ -119,41 +135,80 @@ func Generate(o GenerateOpts) (*Dataset, error) {
 				cfg.V0 = v0
 				cfg.Vth = vth
 				cfg.Seed = seeder.Uint64()
-				sim, err := pic.New(cfg, nil)
-				if err != nil {
-					return nil, fmt.Errorf("dataset: run v0=%v vth=%v rep=%d: %w", v0, vth, rep, err)
-				}
-				for step := 0; step < o.Steps; step++ {
-					if _, err := sim.Step(); err != nil {
-						return nil, fmt.Errorf("dataset: run v0=%v vth=%v rep=%d step=%d: %w", v0, vth, rep, step, err)
-					}
-					if (step+1)%o.SampleEvery != 0 {
-						continue
-					}
-					if row >= n {
-						break
-					}
-					// After Step, sim.E is consistent with the current
-					// particle positions — exactly the state the DL-PIC
-					// loop will present to the solver at inference time.
-					if err := hist.Bin(sim.P.X, sim.P.V); err != nil {
-						return nil, err
-					}
-					copy(ds.Inputs.Row(row), hist.Data)
-					copy(ds.Targets.Row(row), sim.E)
-					row++
-				}
-				runIdx++
-				if o.Progress != nil {
-					o.Progress(runIdx, totalRuns)
-				}
+				runs = append(runs, runSpec{cfg: cfg, v0: v0, vth: vth, rep: rep, row: row})
+				row += samplesPerRun
 			}
 		}
 	}
-	// Trim if subsampling rounded down.
-	if row < n {
-		ds.Inputs = shrinkRows(ds.Inputs, row)
-		ds.Targets = shrinkRows(ds.Targets, row)
+	var (
+		mu        sync.Mutex
+		done      int
+		runErr    error
+		runErrIdx int
+		failed    atomic.Bool
+	)
+	parallel.ForPool(len(runs), o.Workers, func(i int) {
+		r := runs[i]
+		// After a failure the corpus is doomed; skip runs that have not
+		// started instead of simulating them. Among the failures that do
+		// run, the lowest run index wins, so the reported error does not
+		// depend on completion order.
+		if failed.Load() {
+			mu.Lock()
+			done++
+			if o.Progress != nil {
+				o.Progress(done, totalRuns)
+			}
+			mu.Unlock()
+			return
+		}
+		err := func() error {
+			hist, err := phasespace.NewHist(o.Spec)
+			if err != nil {
+				return err
+			}
+			sim, err := pic.New(r.cfg, nil)
+			if err != nil {
+				return fmt.Errorf("dataset: run v0=%v vth=%v rep=%d: %w", r.v0, r.vth, r.rep, err)
+			}
+			rowAt := r.row
+			for step := 0; step < o.Steps; step++ {
+				if _, err := sim.Step(); err != nil {
+					return fmt.Errorf("dataset: run v0=%v vth=%v rep=%d step=%d: %w", r.v0, r.vth, r.rep, step, err)
+				}
+				if (step+1)%o.SampleEvery != 0 {
+					continue
+				}
+				if rowAt >= r.row+samplesPerRun {
+					break
+				}
+				// After Step, sim.E is consistent with the current
+				// particle positions — exactly the state the DL-PIC
+				// loop will present to the solver at inference time.
+				if err := hist.Bin(sim.P.X, sim.P.V); err != nil {
+					return err
+				}
+				copy(ds.Inputs.Row(rowAt), hist.Data)
+				copy(ds.Targets.Row(rowAt), sim.E)
+				rowAt++
+			}
+			return nil
+		}()
+		mu.Lock()
+		if err != nil {
+			failed.Store(true)
+			if runErr == nil || i < runErrIdx {
+				runErr, runErrIdx = err, i
+			}
+		}
+		done++
+		if o.Progress != nil {
+			o.Progress(done, totalRuns)
+		}
+		mu.Unlock()
+	})
+	if runErr != nil {
+		return nil, runErr
 	}
 	return ds, nil
 }

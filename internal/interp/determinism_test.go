@@ -1,0 +1,87 @@
+package interp
+
+import (
+	"runtime"
+	"testing"
+
+	"dlpic/internal/grid"
+	"dlpic/internal/rng"
+)
+
+// The deposit and gather kernels must produce bit-identical output at
+// every GOMAXPROCS: the chunk decomposition of internal/parallel
+// depends only on the particle count, never on the worker count.
+
+func detRandomPositions(n int, l float64) []float64 {
+	r := rng.New(99)
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = r.Float64() * l
+	}
+	return pos
+}
+
+func withProcs(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestDepositBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	g := grid.MustNew(64, 1.0)
+	pos := detRandomPositions(50000, g.Length())
+	for _, s := range []Scheme{NGP, CIC, TSC} {
+		ref := make([]float64, g.N())
+		withProcs(t, 1, func() { Deposit(s, g, pos, -1.5, ref) })
+		for _, procs := range []int{2, 4, 8} {
+			got := make([]float64, g.N())
+			withProcs(t, procs, func() { Deposit(s, g, pos, -1.5, got) })
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%v GOMAXPROCS=%d: rho[%d] = %v != serial %v", s, procs, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDepositWeightedBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	g := grid.MustNew(32, 2.0)
+	pos := detRandomPositions(30000, g.Length())
+	r := rng.New(7)
+	weight := make([]float64, len(pos))
+	for i := range weight {
+		weight[i] = r.NormFloat64()
+	}
+	ref := make([]float64, g.N())
+	withProcs(t, 1, func() { DepositWeighted(CIC, g, pos, weight, ref) })
+	for _, procs := range []int{2, 8} {
+		got := make([]float64, g.N())
+		withProcs(t, procs, func() { DepositWeighted(CIC, g, pos, weight, got) })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d: rho[%d] = %v != serial %v", procs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestGatherBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	g := grid.MustNew(64, 1.0)
+	pos := detRandomPositions(40000, g.Length())
+	field := make([]float64, g.N())
+	r := rng.New(11)
+	for i := range field {
+		field[i] = r.NormFloat64()
+	}
+	ref := make([]float64, len(pos))
+	withProcs(t, 1, func() { Gather(TSC, g, field, pos, ref) })
+	got := make([]float64, len(pos))
+	withProcs(t, 8, func() { Gather(TSC, g, field, pos, got) })
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("out[%d] = %v != serial %v", i, got[i], ref[i])
+		}
+	}
+}

@@ -144,21 +144,16 @@ func Gather(s Scheme, g *grid.Grid, field []float64, pos []float64, out []float6
 // the charge per macro-particle (all particles share it, matching the
 // two-stream setup); rho is overwritten, not accumulated into.
 //
-// The deposit is parallelized with one private density buffer per worker,
-// reduced in worker order afterwards, which keeps results deterministic.
+// The deposit is parallelized with the deterministic scatter-reduce of
+// internal/parallel: one private density buffer per fixed chunk of the
+// particle range, reduced in chunk order, so the result is bit-identical
+// at every GOMAXPROCS.
 func Deposit(s Scheme, g *grid.Grid, pos []float64, charge float64, rho []float64) {
 	if len(rho) != g.N() {
 		panic(fmt.Sprintf("interp: Deposit rho length %d, grid %d", len(rho), g.N()))
 	}
 	n := g.N()
-	invDx := 1 / g.Dx()
-	nw := parallel.NumWorkers()
-	private := make([][]float64, nw)
-	for i := range private {
-		private[i] = make([]float64, n)
-	}
-	used := parallel.ForWorkers(len(pos), func(worker, start, end int) {
-		buf := private[worker]
+	parallel.ScatterReduce(len(pos), rho, func(acc []float64, start, end int) {
 		var w [3]float64
 		for p := start; p < end; p++ {
 			left, cnt := weights(s, g, pos[p], &w)
@@ -169,19 +164,13 @@ func Deposit(s Scheme, g *grid.Grid, pos []float64, charge float64, rho []float6
 				} else if idx < 0 {
 					idx += n
 				}
-				buf[idx] += w[k]
+				acc[idx] += w[k]
 			}
 		}
 	})
+	scale := charge / g.Dx()
 	for i := range rho {
-		rho[i] = 0
-	}
-	scale := charge * invDx
-	for wkr := 0; wkr < used; wkr++ {
-		buf := private[wkr]
-		for i := range rho {
-			rho[i] += buf[i] * scale
-		}
+		rho[i] *= scale
 	}
 }
 
@@ -196,14 +185,7 @@ func DepositWeighted(s Scheme, g *grid.Grid, pos, weight []float64, rho []float6
 		panic(fmt.Sprintf("interp: DepositWeighted weight length %d, pos %d", len(weight), len(pos)))
 	}
 	n := g.N()
-	invDx := 1 / g.Dx()
-	nw := parallel.NumWorkers()
-	private := make([][]float64, nw)
-	for i := range private {
-		private[i] = make([]float64, n)
-	}
-	used := parallel.ForWorkers(len(pos), func(worker, start, end int) {
-		buf := private[worker]
+	parallel.ScatterReduce(len(pos), rho, func(acc []float64, start, end int) {
 		var w [3]float64
 		for p := start; p < end; p++ {
 			left, cnt := weights(s, g, pos[p], &w)
@@ -215,17 +197,12 @@ func DepositWeighted(s Scheme, g *grid.Grid, pos, weight []float64, rho []float6
 				} else if idx < 0 {
 					idx += n
 				}
-				buf[idx] += w[k] * wp
+				acc[idx] += w[k] * wp
 			}
 		}
 	})
+	invDx := 1 / g.Dx()
 	for i := range rho {
-		rho[i] = 0
-	}
-	for wkr := 0; wkr < used; wkr++ {
-		buf := private[wkr]
-		for i := range rho {
-			rho[i] += buf[i] * invDx
-		}
+		rho[i] *= invDx
 	}
 }

@@ -1,0 +1,41 @@
+package mover
+
+import (
+	"runtime"
+	"testing"
+
+	"dlpic/internal/rng"
+)
+
+// Kick mutates velocities element-wise (order-independent) but also
+// accumulates the time-centered energy/momentum sums; both must be
+// bit-identical at every GOMAXPROCS.
+func TestKickBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	const n = 60000
+	r := rng.New(3)
+	v0 := make([]float64, n)
+	ep := make([]float64, n)
+	for i := range v0 {
+		v0[i] = 0.2 * r.NormFloat64()
+		ep[i] = r.NormFloat64()
+	}
+	run := func(procs int) ([]float64, KickResult) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		v := append([]float64(nil), v0...)
+		res := Kick(v, ep, -1, 0.2)
+		return v, res
+	}
+	refV, refRes := run(1)
+	for _, procs := range []int{2, 4, 8} {
+		v, res := run(procs)
+		if res != refRes {
+			t.Fatalf("GOMAXPROCS=%d: sums %+v != serial %+v", procs, res, refRes)
+		}
+		for i := range v {
+			if v[i] != refV[i] {
+				t.Fatalf("GOMAXPROCS=%d: v[%d] = %v != serial %v", procs, i, v[i], refV[i])
+			}
+		}
+	}
+}

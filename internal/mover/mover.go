@@ -32,16 +32,14 @@ type KickResult struct {
 
 // Kick advances velocities by a full step, v += qm * ep * dt, where ep is
 // the electric field gathered at each particle. It returns the
-// time-centered diagnostic sums. The reduction is deterministic (private
-// per-worker partials combined in worker order).
+// time-centered diagnostic sums. The reduction uses the deterministic
+// chunked primitives, so the sums are bit-identical at every GOMAXPROCS.
 func Kick(v, ep []float64, qm, dt float64) KickResult {
 	if len(v) != len(ep) {
 		panic("mover: Kick length mismatch")
 	}
-	nw := parallel.NumWorkers()
-	prod := make([]float64, nw)
-	mid := make([]float64, nw)
-	used := parallel.ForWorkers(len(v), func(worker, start, end int) {
+	var sums [2]float64
+	parallel.ReduceSums(len(v), sums[:], func(partial []float64, start, end int) {
 		var ps, ms float64
 		for i := start; i < end; i++ {
 			vOld := v[i]
@@ -50,15 +48,10 @@ func Kick(v, ep []float64, qm, dt float64) KickResult {
 			ps += vOld * vNew
 			ms += 0.5 * (vOld + vNew)
 		}
-		prod[worker] = ps
-		mid[worker] = ms
+		partial[0] += ps
+		partial[1] += ms
 	})
-	var res KickResult
-	for w := 0; w < used; w++ {
-		res.VProdSum += prod[w]
-		res.VMidSum += mid[w]
-	}
-	return res
+	return KickResult{VProdSum: sums[0], VMidSum: sums[1]}
 }
 
 // KickHalf advances velocities by half a step (used to de-stagger the

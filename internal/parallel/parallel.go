@@ -1,25 +1,67 @@
 // Package parallel provides small helpers for data-parallel loops used
 // throughout the PIC and neural-network kernels.
 //
-// The helpers favour determinism: reductions performed through
-// ForWorkers always combine per-worker results in worker-index order, so
-// repeated runs with the same seed produce bit-identical output
-// regardless of goroutine scheduling.
+// The helpers favour determinism. With the chunked primitives
+// (ForChunks, ScatterReduce, ReduceSums) the range [0, n) is split
+// into a fixed number of chunks
+// that depends only on n — never on GOMAXPROCS — and per-chunk partial
+// results are combined in chunk-index order. Because both the partial
+// sums and the reduction order are invariant under the worker count,
+// their output is bit-identical across any GOMAXPROCS setting,
+// including the fully serial GOMAXPROCS=1 path. The PIC hot-path
+// kernels (deposit, kick, field reductions) are built on these, which
+// is what makes whole simulations reproducible across machines with
+// different core counts.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxWorkers bounds the number of goroutines launched by For and
-// ForWorkers. It defaults to GOMAXPROCS.
+// poolDepth counts ForPool invocations that currently have goroutine
+// workers running. While one is active the fine-grained loops run
+// inline: the outer pool already saturates the cores, and fanning
+// GOMAXPROCS goroutines out of every pooled task would multiply
+// concurrency to ~P^2. Inlining never changes results — the chunked
+// primitives are bit-identical serial vs parallel by construction.
+var poolDepth atomic.Int32
+
+// maxWorkers bounds the number of goroutines launched by the
+// fine-grained loops. It defaults to GOMAXPROCS, dropping to 1 inside
+// an active ForPool.
 func maxWorkers() int {
+	if poolDepth.Load() > 0 {
+		return 1
+	}
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1
 	}
 	return n
+}
+
+// runPool dispatches fn(i) for i in [0, count) to workers goroutines
+// pulling indices from a shared counter. Callers normalize workers to
+// [2, count] first.
+func runPool(count, workers int, fn func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // For splits the half-open index range [0, n) into contiguous chunks and
@@ -67,48 +109,169 @@ func ForThreshold(n, threshold int, body func(start, end int)) {
 	wg.Wait()
 }
 
-// ForWorkers runs body(worker, start, end) over [0, n) with one contiguous
-// chunk per worker, passing the worker index so callers can accumulate
-// into private buffers indexed by worker. It returns the number of workers
-// actually used, so callers can reduce buffers [0, used) in order.
-//
-// Unlike For, ForWorkers always partitions the range (even for tiny n)
-// because callers rely on the returned worker count for reductions.
-func ForWorkers(n int, body func(worker, start, end int)) int {
+// ---------------------------------------------------------------------------
+// Deterministic chunked primitives
+
+const (
+	// chunkGrain is the minimum elements per chunk; ranges below it run
+	// as a single chunk (inline, no goroutines).
+	chunkGrain = 1024
+	// chunkMax caps the chunk count so per-chunk accumulator memory
+	// stays bounded for huge ranges.
+	chunkMax = 64
+)
+
+// NumChunks returns the chunk count the chunked primitives split [0, n)
+// into. It is a pure function of n (never of GOMAXPROCS), which is the
+// invariant that makes chunked reductions bit-identical across worker
+// counts.
+func NumChunks(n int) int {
 	if n <= 0 {
 		return 0
 	}
+	k := (n + chunkGrain - 1) / chunkGrain
+	if k > chunkMax {
+		k = chunkMax
+	}
+	return k
+}
+
+// chunkBounds returns the half-open range of chunk c when [0, n) is
+// split into k near-equal chunks (the first n%k chunks get one extra).
+func chunkBounds(n, k, c int) (start, end int) {
+	base := n / k
+	rem := n % k
+	if c < rem {
+		start = c * (base + 1)
+		end = start + base + 1
+		return
+	}
+	start = rem*(base+1) + (c-rem)*base
+	end = start + base
+	return
+}
+
+// ForChunks runs body(chunk, start, end) for every chunk of [0, n),
+// distributing chunks over up to GOMAXPROCS goroutines via a shared
+// counter. The decomposition depends only on n, so the set of
+// (chunk, start, end) calls is identical at every GOMAXPROCS. It
+// returns the chunk count so callers can reduce per-chunk partials in
+// chunk order.
+func ForChunks(n int, body func(chunk, start, end int)) int {
+	k := NumChunks(n)
+	if k == 0 {
+		return 0
+	}
 	workers := maxWorkers()
+	if workers > k {
+		workers = k
+	}
+	if workers == 1 {
+		for c := 0; c < k; c++ {
+			s, e := chunkBounds(n, k, c)
+			body(c, s, e)
+		}
+		return k
+	}
+	runPool(k, workers, func(c int) {
+		s, e := chunkBounds(n, k, c)
+		body(c, s, e)
+	})
+	return k
+}
+
+// scratchPool recycles the flat per-chunk accumulator buffers used by
+// ScatterReduce and ReduceSums, so steady-state hot loops (one deposit
+// per PIC step) stop allocating.
+var scratchPool = sync.Pool{New: func() any { s := []float64(nil); return &s }}
+
+func getScratch(size int) *[]float64 {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < size {
+		*p = make([]float64, size)
+	}
+	*p = (*p)[:size]
+	buf := *p
+	for i := range buf {
+		buf[i] = 0
+	}
+	return p
+}
+
+// ScatterReduce performs a deterministic parallel scatter-add into out:
+// each chunk of [0, n) accumulates into a private zeroed buffer of
+// len(out), and the per-chunk buffers are summed into out in chunk
+// order. out is overwritten. body must add chunk-local contributions of
+// elements [start, end) into acc and must not retain acc.
+//
+// Output is bit-identical for every GOMAXPROCS because the chunk
+// decomposition depends only on n. For a single chunk, acc is out
+// itself (no copy).
+func ScatterReduce(n int, out []float64, body func(acc []float64, start, end int)) {
+	for i := range out {
+		out[i] = 0
+	}
+	if n <= 0 {
+		return
+	}
+	width := len(out)
+	k := NumChunks(n)
+	if k == 1 || width == 0 {
+		body(out, 0, n)
+		return
+	}
+	p := getScratch(k * width)
+	buf := *p
+	ForChunks(n, func(chunk, start, end int) {
+		body(buf[chunk*width:(chunk+1)*width], start, end)
+	})
+	for c := 0; c < k; c++ {
+		row := buf[c*width : (c+1)*width]
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	scratchPool.Put(p)
+}
+
+// ReduceSums is ScatterReduce for a handful of scalar accumulators
+// (e.g. the kinetic-energy and momentum sums of a velocity kick): body
+// adds the partial sums of elements [start, end) into partial (length
+// len(sums)), and the per-chunk partials are combined into sums in
+// chunk order. sums is overwritten. Deterministic across GOMAXPROCS
+// for the same reason as ScatterReduce.
+func ReduceSums(n int, sums []float64, body func(partial []float64, start, end int)) {
+	ScatterReduce(n, sums, body)
+}
+
+// ForPool runs task(i) for every i in [0, n) on up to workers
+// goroutines pulling indices from a shared counter. It is the
+// coarse-grained counterpart of For, intended for heavyweight
+// independent tasks (whole simulation runs in a sweep); workers <= 0
+// selects GOMAXPROCS. Tasks must synchronize any shared state
+// themselves; writing to per-index slots needs no locking.
+// While the pool's goroutines run, the fine-grained loops inside the
+// tasks execute inline (see poolDepth): coarse outer parallelism wins
+// over nested fan-out. A pool that runs serially (workers resolves to
+// 1) leaves inner parallelism enabled — there the kernels are the only
+// source of concurrency.
+func ForPool(n, workers int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = maxWorkers()
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
-		body(0, 0, n)
-		return 1
-	}
-	chunk := (n + workers - 1) / workers
-	used := 0
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
+		for i := 0; i < n; i++ {
+			task(i)
 		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		used++
-		wg.Add(1)
-		go func(id, s, e int) {
-			defer wg.Done()
-			body(id, s, e)
-		}(w, start, end)
+		return
 	}
-	wg.Wait()
-	return used
+	poolDepth.Add(1)
+	defer poolDepth.Add(-1)
+	runPool(n, workers, task)
 }
-
-// NumWorkers reports the worker count For/ForWorkers would use for a
-// large range. Callers use it to size per-worker scratch buffers.
-func NumWorkers() int { return maxWorkers() }

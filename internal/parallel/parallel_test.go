@@ -3,7 +3,6 @@ package parallel
 import (
 	"sync/atomic"
 	"testing"
-	"testing/quick"
 )
 
 func TestForCoversRangeExactlyOnce(t *testing.T) {
@@ -44,87 +43,3 @@ func TestForZeroAndNegative(t *testing.T) {
 	}
 }
 
-func TestForWorkersPartition(t *testing.T) {
-	for _, n := range []int{1, 2, 3, 17, 1000} {
-		seen := make([]int32, n)
-		used := ForWorkers(n, func(worker, start, end int) {
-			if worker < 0 {
-				t.Errorf("negative worker id %d", worker)
-			}
-			for i := start; i < end; i++ {
-				atomic.AddInt32(&seen[i], 1)
-			}
-		})
-		if used <= 0 || used > n {
-			t.Fatalf("n=%d: used=%d out of range", n, used)
-		}
-		for i, c := range seen {
-			if c != 1 {
-				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
-			}
-		}
-	}
-}
-
-func TestForWorkersZero(t *testing.T) {
-	if used := ForWorkers(0, func(worker, start, end int) {}); used != 0 {
-		t.Fatalf("ForWorkers(0) used = %d, want 0", used)
-	}
-}
-
-func TestForWorkersIDsAreDense(t *testing.T) {
-	n := 1000
-	var maxID int64 = -1
-	counts := make([]int32, NumWorkers()+1)
-	used := ForWorkers(n, func(worker, start, end int) {
-		atomic.AddInt32(&counts[worker], 1)
-		for {
-			cur := atomic.LoadInt64(&maxID)
-			if int64(worker) <= cur || atomic.CompareAndSwapInt64(&maxID, cur, int64(worker)) {
-				break
-			}
-		}
-	})
-	if int(maxID) != used-1 {
-		t.Fatalf("max worker id %d, want used-1 = %d", maxID, used-1)
-	}
-	for w := 0; w < used; w++ {
-		if counts[w] != 1 {
-			t.Fatalf("worker %d ran %d chunks, want 1", w, counts[w])
-		}
-	}
-}
-
-// Property: the sum over a slice computed through a parallel worker
-// reduction equals the sequential sum, for any slice.
-func TestForWorkersSumProperty(t *testing.T) {
-	f := func(xs []int16) bool {
-		n := len(xs)
-		partial := make([]int64, NumWorkers())
-		used := ForWorkers(n, func(worker, start, end int) {
-			var s int64
-			for i := start; i < end; i++ {
-				s += int64(xs[i])
-			}
-			partial[worker] = s
-		})
-		var got int64
-		for w := 0; w < used; w++ {
-			got += partial[w]
-		}
-		var want int64
-		for _, x := range xs {
-			want += int64(x)
-		}
-		return got == want
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestNumWorkersPositive(t *testing.T) {
-	if NumWorkers() < 1 {
-		t.Fatalf("NumWorkers() = %d, want >= 1", NumWorkers())
-	}
-}

@@ -33,6 +33,7 @@ import (
 	"dlpic/internal/grid"
 	"dlpic/internal/interp"
 	"dlpic/internal/mover"
+	"dlpic/internal/parallel"
 	"dlpic/internal/particle"
 	"dlpic/internal/poisson"
 	"dlpic/internal/rng"
@@ -146,6 +147,11 @@ func (c Config) MacroCharge() float64 {
 
 // FieldMethod computes the grid electric field from the current particle
 // state. Implementations must write g.N() values into e.
+//
+// Implementations may keep internal scratch buffers, so a FieldMethod
+// instance must be owned by exactly one Simulation: sharing one across
+// simulations that step concurrently (e.g. in a sweep pool) is a data
+// race. Build a fresh method per simulation instead.
 type FieldMethod interface {
 	// ComputeField updates e from the simulation's particle state. The
 	// simulation exposes its grid, particles and scratch arrays; the
@@ -260,14 +266,16 @@ func (s *Simulation) gather() {
 func (s *Simulation) gatherEnergyConserving() {
 	n := s.G.N()
 	dx := s.G.Dx()
-	for p, x := range s.P.X {
-		i := s.G.CellOf(x)
-		ip := i + 1
-		if ip == n {
-			ip = 0
+	parallel.For(len(s.P.X), func(start, end int) {
+		for p := start; p < end; p++ {
+			i := s.G.CellOf(s.P.X[p])
+			ip := i + 1
+			if ip == n {
+				ip = 0
+			}
+			s.Ep[p] = (s.Phi[i] - s.Phi[ip]) / dx
 		}
-		s.Ep[p] = (s.Phi[i] - s.Phi[ip]) / dx
-	}
+	})
 }
 
 // Step advances the system by one time step and returns the diagnostics
@@ -352,8 +360,7 @@ func (s *Simulation) CheckFinite() error {
 // scheme, add the neutralizing ion background, solve the Poisson
 // equation for phi, and differentiate for E.
 type TraditionalField struct {
-	solver  poisson.Solver
-	scratch []float64
+	solver poisson.Solver
 }
 
 // NewTraditionalField builds the deposit+Poisson field method for cfg.
@@ -375,7 +382,7 @@ func NewTraditionalField(cfg Config, g *grid.Grid) (*TraditionalField, error) {
 	default:
 		return nil, fmt.Errorf("pic: unknown Poisson solver %q", cfg.Solver)
 	}
-	return &TraditionalField{solver: solver, scratch: make([]float64, g.N())}, nil
+	return &TraditionalField{solver: solver}, nil
 }
 
 // Name implements FieldMethod.

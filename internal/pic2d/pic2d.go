@@ -175,10 +175,12 @@ func New(cfg Config) (*Simulation, error) {
 	// De-stagger velocities by -dt/2.
 	s.gather()
 	h := 0.5 * cfg.QOverM * cfg.Dt
-	for i := range s.VX {
-		s.VX[i] -= h * s.epx[i]
-		s.VY[i] -= h * s.epy[i]
-	}
+	parallel.For(len(s.VX), func(start, end int) {
+		for i := start; i < end; i++ {
+			s.VX[i] -= h * s.epx[i]
+			s.VY[i] -= h * s.epy[i]
+		}
+	})
 	return s, nil
 }
 
@@ -188,18 +190,12 @@ func (s *Simulation) Time() float64 { return s.time }
 // StepCount returns the completed step count.
 func (s *Simulation) StepCount() int { return s.stepN }
 
-// deposit accumulates the bilinear (CIC) charge density.
+// deposit accumulates the bilinear (CIC) charge density with the
+// deterministic scatter-reduce (bit-identical at every GOMAXPROCS).
 func (s *Simulation) deposit() {
 	nx, ny := s.Cfg.NX, s.Cfg.NY
-	cells := nx * ny
-	nw := parallel.NumWorkers()
-	private := make([][]float64, nw)
-	for i := range private {
-		private[i] = make([]float64, cells)
-	}
 	invDx, invDy := 1/s.dx, 1/s.dy
-	used := parallel.ForWorkers(len(s.X), func(worker, start, end int) {
-		buf := private[worker]
+	parallel.ScatterReduce(len(s.X), s.Rho, func(buf []float64, start, end int) {
 		for p := start; p < end; p++ {
 			hx := s.X[p] * invDx
 			hy := s.Y[p] * invDy
@@ -229,13 +225,7 @@ func (s *Simulation) deposit() {
 	})
 	scale := s.Charge * invDx * invDy
 	for i := range s.Rho {
-		s.Rho[i] = s.ionRho
-	}
-	for w := 0; w < used; w++ {
-		buf := private[w]
-		for i := range s.Rho {
-			s.Rho[i] += buf[i] * scale
-		}
+		s.Rho[i] = s.Rho[i]*scale + s.ionRho
 	}
 }
 
@@ -247,28 +237,32 @@ func (s *Simulation) solveField() error {
 	}
 	nx, ny := s.Cfg.NX, s.Cfg.NY
 	inv2dx, inv2dy := 1/(2*s.dx), 1/(2*s.dy)
-	for iy := 0; iy < ny; iy++ {
-		iym := iy - 1
-		if iym < 0 {
-			iym = ny - 1
-		}
-		iyp := iy + 1
-		if iyp == ny {
-			iyp = 0
-		}
-		for ix := 0; ix < nx; ix++ {
-			ixm := ix - 1
-			if ixm < 0 {
-				ixm = nx - 1
+	// Rows are independent (disjoint writes), so the row loop is safe to
+	// split; the per-cell values do not depend on the split.
+	parallel.ForThreshold(ny, 8, func(startY, endY int) {
+		for iy := startY; iy < endY; iy++ {
+			iym := iy - 1
+			if iym < 0 {
+				iym = ny - 1
 			}
-			ixp := ix + 1
-			if ixp == nx {
-				ixp = 0
+			iyp := iy + 1
+			if iyp == ny {
+				iyp = 0
 			}
-			s.Ex[iy*nx+ix] = -(s.Phi[iy*nx+ixp] - s.Phi[iy*nx+ixm]) * inv2dx
-			s.Ey[iy*nx+ix] = -(s.Phi[iyp*nx+ix] - s.Phi[iym*nx+ix]) * inv2dy
+			for ix := 0; ix < nx; ix++ {
+				ixm := ix - 1
+				if ixm < 0 {
+					ixm = nx - 1
+				}
+				ixp := ix + 1
+				if ixp == nx {
+					ixp = 0
+				}
+				s.Ex[iy*nx+ix] = -(s.Phi[iy*nx+ixp] - s.Phi[iy*nx+ixm]) * inv2dx
+				s.Ey[iy*nx+ix] = -(s.Phi[iyp*nx+ix] - s.Phi[iym*nx+ix]) * inv2dy
+			}
 		}
-	}
+	})
 	return nil
 }
 
@@ -316,10 +310,8 @@ func (s *Simulation) Step() (diag.Sample, error) {
 	cfg := s.Cfg
 	s.gather()
 	qm, dt := cfg.QOverM, cfg.Dt
-	nw := parallel.NumWorkers()
-	kin := make([]float64, nw)
-	momX := make([]float64, nw)
-	used := parallel.ForWorkers(len(s.X), func(worker, start, end int) {
+	var sums [2]float64
+	parallel.ReduceSums(len(s.X), sums[:], func(partial []float64, start, end int) {
 		var k, mx float64
 		for i := start; i < end; i++ {
 			vxOld, vyOld := s.VX[i], s.VY[i]
@@ -330,19 +322,14 @@ func (s *Simulation) Step() (diag.Sample, error) {
 			k += vxOld*vxNew + vyOld*vyNew
 			mx += 0.5 * (vxOld + vxNew)
 		}
-		kin[worker] = k
-		momX[worker] = mx
+		partial[0] += k
+		partial[1] += mx
 	})
-	var kinSum, momSum float64
-	for w := 0; w < used; w++ {
-		kinSum += kin[w]
-		momSum += momX[w]
-	}
 	sample := diag.Sample{
 		Step: s.stepN, Time: s.time,
-		Kinetic:  0.5 * s.Mass * kinSum,
+		Kinetic:  0.5 * s.Mass * sums[0],
 		Field:    s.fieldEnergy(),
-		Momentum: s.Mass * momSum,
+		Momentum: s.Mass * sums[1],
 		ModeAmp:  s.modeAmplitude(cfg.DiagMode),
 	}
 	sample.Total = sample.Kinetic + sample.Field

@@ -1,0 +1,222 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"dlpic/internal/diag"
+	"dlpic/internal/grid"
+	"dlpic/internal/pic"
+	"dlpic/internal/vlasov"
+)
+
+// tinyBase returns a seconds-scale configuration for sweep tests.
+func tinyBase() pic.Config {
+	cfg := pic.Default()
+	cfg.Cells = 32
+	cfg.ParticlesPerCell = 60
+	return cfg
+}
+
+func TestGridBuildsCrossProductWithStableSeeds(t *testing.T) {
+	base := tinyBase()
+	scs := Grid(base, []float64{0.1, 0.2}, []float64{0, 0.01}, 3, 50, 42)
+	if len(scs) != 12 {
+		t.Fatalf("got %d scenarios, want 12", len(scs))
+	}
+	seen := map[uint64]bool{}
+	for _, sc := range scs {
+		if sc.Steps != 50 {
+			t.Errorf("%s: steps %d, want 50", sc.Name, sc.Steps)
+		}
+		if seen[sc.Cfg.Seed] {
+			t.Errorf("%s: duplicate seed %d", sc.Name, sc.Cfg.Seed)
+		}
+		seen[sc.Cfg.Seed] = true
+	}
+	// Same root seed -> identical list, including derived seeds.
+	again := Grid(base, []float64{0.1, 0.2}, []float64{0, 0.01}, 3, 50, 42)
+	for i := range scs {
+		if scs[i] != again[i] {
+			t.Fatalf("scenario %d not reproducible: %+v vs %+v", i, scs[i], again[i])
+		}
+	}
+}
+
+func TestRunMatchesDirectSerialRuns(t *testing.T) {
+	scs := Grid(tinyBase(), []float64{0.2}, []float64{0.025}, 2, 40, 7)
+	results := Run(scs, Options{Workers: 4, KeepFinalState: true})
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scs {
+		sim, err := pic.New(sc.Cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec diag.Recorder
+		if err := sim.Run(sc.Steps, &rec, nil); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Samples) != len(results[i].Rec.Samples) {
+			t.Fatalf("scenario %d: %d samples, want %d", i, len(results[i].Rec.Samples), len(rec.Samples))
+		}
+		for j := range rec.Samples {
+			if rec.Samples[j] != results[i].Rec.Samples[j] {
+				t.Fatalf("scenario %d sample %d: sweep %+v != direct %+v",
+					i, j, results[i].Rec.Samples[j], rec.Samples[j])
+			}
+		}
+		for p := range sim.P.X {
+			if results[i].FinalX[p] != sim.P.X[p] || results[i].FinalV[p] != sim.P.V[p] {
+				t.Fatalf("scenario %d: final state diverges at particle %d", i, p)
+			}
+		}
+	}
+}
+
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	scs := Grid(tinyBase(), []float64{0.15, 0.2}, []float64{0, 0.01}, 1, 30, 3)
+	ref := Run(scs, Options{Workers: 1})
+	if err := FirstError(ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got := Run(scs, Options{Workers: workers})
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("workers=%d scenario %d: %v", workers, i, got[i].Err)
+			}
+			for j := range got[i].Rec.Samples {
+				if got[i].Rec.Samples[j] != ref[i].Rec.Samples[j] {
+					t.Fatalf("workers=%d scenario %d sample %d differs", workers, i, j)
+				}
+			}
+			if got[i].FitOK != ref[i].FitOK || got[i].Growth != ref[i].Growth {
+				t.Fatalf("workers=%d scenario %d: fit differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunFitsGrowthAgainstTheory(t *testing.T) {
+	base := tinyBase()
+	base.ParticlesPerCell = 200
+	scs := Grid(base, []float64{0.2}, []float64{0.025}, 1, 200, 1)
+	results := Run(scs, Options{})
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !r.FitOK {
+		t.Fatal("expected a growth fit for the unstable two-stream configuration")
+	}
+	if r.TheoryGamma <= 0 {
+		t.Fatalf("theory gamma %v, want > 0", r.TheoryGamma)
+	}
+	// The fitted rate should be in the physical ballpark of theory
+	// (loose: the tiny run is noisy).
+	if r.Growth.Gamma < 0.3*r.TheoryGamma || r.Growth.Gamma > 2.5*r.TheoryGamma {
+		t.Fatalf("fitted gamma %v far from theory %v", r.Growth.Gamma, r.TheoryGamma)
+	}
+	if r.EnergyVariation <= 0 || r.EnergyVariation > 0.5 {
+		t.Fatalf("energy variation %v out of plausible range", r.EnergyVariation)
+	}
+}
+
+func TestRunReportsPerScenarioErrors(t *testing.T) {
+	bad := tinyBase()
+	bad.Cells = 1 // invalid
+	scs := []Scenario{
+		{Name: "bad", Cfg: bad, Steps: 10},
+		{Name: "good", Cfg: tinyBase(), Steps: 5},
+		{Name: "zero-steps", Cfg: tinyBase(), Steps: 0},
+	}
+	results := Run(scs, Options{Workers: 2, SkipFit: true})
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "bad") {
+		t.Fatalf("bad scenario error = %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("good scenario failed: %v", results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("zero-steps scenario must fail")
+	}
+	if FirstError(results) == nil {
+		t.Fatal("FirstError must surface a failure")
+	}
+}
+
+func TestRunProgressSerializedAndComplete(t *testing.T) {
+	scs := Grid(tinyBase(), []float64{0.1, 0.2, 0.3}, []float64{0}, 2, 5, 2)
+	var calls []int
+	Run(scs, Options{
+		Workers: 4,
+		SkipFit: true,
+		Progress: func(done, total int) {
+			if total != len(scs) {
+				t.Errorf("total %d, want %d", total, len(scs))
+			}
+			calls = append(calls, done)
+		},
+	})
+	if len(calls) != len(scs) {
+		t.Fatalf("%d progress calls, want %d", len(calls), len(scs))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress call %d reported done=%d, want %d", i, d, i+1)
+		}
+	}
+}
+
+func TestMethodFactoryCalledPerScenario(t *testing.T) {
+	scs := Grid(tinyBase(), []float64{0.2}, []float64{0}, 3, 5, 4)
+	var built []string
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	results := Run(scs, Options{
+		Workers: 2,
+		SkipFit: true,
+		Method: func(sc Scenario) (pic.FieldMethod, error) {
+			<-mu
+			built = append(built, sc.Name)
+			mu <- struct{}{}
+			g, err := grid.New(sc.Cfg.Cells, sc.Cfg.Length)
+			if err != nil {
+				return nil, err
+			}
+			return pic.NewTraditionalField(sc.Cfg, g)
+		},
+	})
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != len(scs) {
+		t.Fatalf("factory called %d times, want %d", len(built), len(scs))
+	}
+}
+
+func TestRunVlasovSweep(t *testing.T) {
+	cfg := vlasov.Default()
+	cfg.NX, cfg.NV = 32, 32
+	scs := []VlasovScenario{
+		{Name: "v0=0.2", Cfg: cfg, Init: vlasov.TwoStreamInit{V0: 0.2, Vth: 0.05, Amp: 1e-3, Mode: 1}, Steps: 20},
+		{Name: "v0=0.3", Cfg: cfg, Init: vlasov.TwoStreamInit{V0: 0.3, Vth: 0.05, Amp: 1e-3, Mode: 1}, Steps: 20},
+	}
+	ref := RunVlasov(scs, Options{Workers: 1, SkipFit: true})
+	got := RunVlasov(scs, Options{Workers: 2, SkipFit: true})
+	for i := range scs {
+		if ref[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("vlasov scenario %d: %v / %v", i, ref[i].Err, got[i].Err)
+		}
+		if len(ref[i].Rec.Samples) != 20 {
+			t.Fatalf("vlasov scenario %d: %d samples, want 20", i, len(ref[i].Rec.Samples))
+		}
+		for j := range ref[i].Rec.Samples {
+			if ref[i].Rec.Samples[j] != got[i].Rec.Samples[j] {
+				t.Fatalf("vlasov scenario %d sample %d differs across worker counts", i, j)
+			}
+		}
+	}
+}
