@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench docs ci
 
 all: ci
 
@@ -20,11 +20,17 @@ vet:
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/interp/ ./internal/mover/ \
 		./internal/pic/ ./internal/pic2d/ ./internal/sweep/ ./internal/dataset/ \
-		./internal/tensor/ ./internal/vlasov/
+		./internal/tensor/ ./internal/vlasov/ ./internal/batch/
 
-# bench measures the parallel hot path and sweep throughput at 1, 4 and
-# all cores (bit-identical physics at every -cpu setting).
+# bench measures the parallel hot path, sweep throughput and batched
+# inference at 1, 4 and all cores (bit-identical physics at every -cpu
+# setting).
 bench:
-	$(GO) test -run xxx -bench 'HotPath|Sweep' -cpu 1,4,8 -benchtime 2s .
+	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched' -cpu 1,4,8 -benchtime 2s .
+
+# docs fails when an exported identifier lacks a doc comment, keeping
+# `go doc` usable as the API reference.
+docs: vet
+	$(GO) run ./tools/lintdoc .
 
 ci: build vet test

@@ -15,10 +15,12 @@
 package dlpic_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"dlpic"
+	"dlpic/internal/batch"
 	"dlpic/internal/core"
 	"dlpic/internal/experiments"
 	"dlpic/internal/grid"
@@ -397,6 +399,82 @@ func BenchmarkHotPath_FullStep(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchedInference compares the per-call DL field solve (N
+// independent Predict1 calls, what a sweep of N concurrent NN-method
+// scenarios pays per step) against one stacked PredictBatch of N rows,
+// on a paper-shaped MLP (64x64 phase-space input). Compare percall-N
+// against batched-N directly: both do N rows per op, so ns/op is the
+// per-step inference cost of an N-scenario pool. The batched path wins
+// because each layer's weight matrix is streamed from memory once per
+// batch instead of once per row (k-outer GEMM in internal/tensor).
+func BenchmarkBatchedInference(b *testing.B) {
+	const inDim, outDim, maxWidth = 4096, 64, 16
+	net, err := nn.NewMLP(nn.MLPConfig{InDim: inDim, OutDim: outDim, Hidden: 256, HiddenLayers: 3}, rng.New(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(32)
+	in := make([]float64, maxWidth*inDim)
+	for i := range in {
+		in[i] = r.Float64()
+	}
+	out := make([]float64, maxWidth*outDim)
+	for _, width := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("percall-%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for w := 0; w < width; w++ {
+					net.Predict1(in[w*inDim:(w+1)*inDim], out[w*outDim:(w+1)*outDim])
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batched-%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				net.PredictBatch(width, in[:width*inDim], out[:width*outDim])
+			}
+		})
+	}
+}
+
+// benchDLSweep runs the fixture's trained MLP over a 4-scenario grid
+// through the sweep engine, either per-call (one solver clone per
+// scenario) or through the batched inference server.
+func benchDLSweep(b *testing.B, batched bool) {
+	p := getFixture(b)
+	scs := sweep.Grid(p.Cfg, []float64{0.15, 0.2}, []float64{0, 0.025}, 1, 10, 1)
+	opts := sweep.Options{SkipFit: true}
+	if batched {
+		bs, err := batch.FromNNSolver(p.MLP, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bs.Close()
+		opts.Batcher = bs
+	} else {
+		opts.Method = func(sweep.Scenario) (pic.FieldMethod, error) {
+			return p.MLP.Clone()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := sweep.Run(scs, opts)
+		if err := sweep.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_DLPerCall times the 4-scenario DL sweep on the
+// per-call path: every scenario clones the solver and pays its own
+// Predict1 per step.
+func BenchmarkSweep_DLPerCall(b *testing.B) { benchDLSweep(b, false) }
+
+// BenchmarkSweep_DLBatched is the same sweep with the field solves
+// stacked through the batched inference server (bit-identical results).
+func BenchmarkSweep_DLBatched(b *testing.B) { benchDLSweep(b, true) }
 
 // BenchmarkSweep_TwoStreamGrid times a 4-scenario two-stream sweep
 // through the concurrent engine (Workers = GOMAXPROCS, so -cpu scales

@@ -36,7 +36,7 @@ func main() {
 		nv      = flag.Int("nv", 64, "phase-space velocity bins")
 		binning = flag.String("binning", "NGP", "phase-space binning: NGP | CIC")
 		seed    = flag.Uint64("seed", 1, "root seed")
-		workers = flag.Int("workers", 0, "concurrent sweep runs (0 = all cores); corpus is identical for any value")
+		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS); results are bit-identical for any value")
 	)
 	flag.Parse()
 	if err := run(*out, *paper, *v0s, *vths, *repeats, *steps, *every, *ppc, *nv, *binning, *seed, *workers); err != nil {
@@ -44,7 +44,6 @@ func main() {
 		os.Exit(1)
 	}
 }
-
 
 func run(out string, paper bool, v0sRaw, vthsRaw string, repeats, steps, every, ppc, nv int, binning string, seed uint64, workers int) error {
 	cfg := pic.Default()

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dlpic/internal/ascii"
+	"dlpic/internal/batch"
 	"dlpic/internal/cliutil"
 	"dlpic/internal/diag"
 	"dlpic/internal/experiments"
@@ -45,16 +46,24 @@ func main() {
 		oracle  = flag.Bool("oracle", false, "also run the learning-free oracle ablation")
 		load    = flag.String("load-models", "", "load solver bundles from this directory instead of training")
 		steps   = flag.Int("steps", 200, "steps per validation run (t = steps*0.2)")
-		scan    = flag.Bool("scan", false, "run a concurrent traditional-PIC growth-rate scan over v0 x vth")
+		scan    = flag.Bool("scan", false, "run a concurrent growth-rate scan over v0 x vth (traditional PIC, or DL with -batched)")
 		scanV0s = flag.String("scan-v0s", "0.1,0.15,0.2,0.25,0.3", "scan beam speeds")
 		scanVth = flag.String("scan-vths", "0.005,0.025", "scan thermal speeds")
 		scanRep = flag.Int("scan-repeats", 1, "scan repeats per combination")
-		scanPPC = flag.Int("scan-ppc", 250, "scan particles per cell")
-		workers = flag.Int("workers", 0, "scan worker pool size (0 = all cores)")
+		scanPPC = flag.Int("scan-ppc", 250, "scan particles per cell (ignored with -batched: the trained model fixes it)")
+		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS); results are bit-identical for any value")
+		batched = flag.Bool("batched", false, "run the scan with the DL field method, per-call vs batched inference (trains a model unless -load-models)")
+		batchN  = flag.Int("batch", 0, "batched-inference flush cap (0 = default)")
 	)
 	flag.Parse()
 	if *scan {
-		if err := runScan(*scanV0s, *scanVth, *scanRep, *scanPPC, *steps, *seed, *workers); err != nil {
+		var err error
+		if *batched {
+			err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load)
+		} else {
+			err = runScan(*scanV0s, *scanVth, *scanRep, *scanPPC, *steps, *seed, *workers)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -92,15 +101,26 @@ func runScan(v0sRaw, vthsRaw string, repeats, ppc, steps int, seed uint64, worke
 		len(scenarios), steps, base.NumParticles())
 	start := time.Now()
 	results := sweep.Run(scenarios, sweep.Options{
-		Workers: workers,
-		Progress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rscan: %d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		},
+		Workers:  workers,
+		Progress: scanProgress("scan"),
 	})
 	elapsed := time.Since(start)
+	fmt.Println(scanTable(results))
+	// Per-scenario elapsed times overlap under the pool (and are
+	// inflated by time-slicing on few cores), so their sum over wall
+	// time measures achieved concurrency, not a serial-baseline speedup.
+	var sum time.Duration
+	for i := range results {
+		sum += results[i].Elapsed
+	}
+	fmt.Printf("scan wall time %v; per-scenario run times sum to %v (%.1fx concurrency)\n\n",
+		elapsed.Round(time.Millisecond), sum.Round(time.Millisecond),
+		float64(sum)/float64(elapsed))
+	return sweep.FirstError(results)
+}
+
+// scanTable renders the per-scenario growth-rate table of a sweep.
+func scanTable(results []sweep.Result) string {
 	rows := [][]string{{"Scenario", "Theory gamma", "Fitted gamma", "R2", "Energy var", "Run time"}}
 	for i := range results {
 		r := &results[i]
@@ -121,18 +141,109 @@ func runScan(v0sRaw, vthsRaw string, repeats, ppc, steps int, seed uint64, worke
 			r.Elapsed.Round(time.Millisecond).String(),
 		})
 	}
-	fmt.Println(ascii.Table(rows))
-	// Per-scenario elapsed times overlap under the pool (and are
-	// inflated by time-slicing on few cores), so their sum over wall
-	// time measures achieved concurrency, not a serial-baseline speedup.
-	var sum time.Duration
-	for i := range results {
-		sum += results[i].Elapsed
+	return ascii.Table(rows)
+}
+
+// scanProgress returns a serialized progress callback labelled by stage.
+func scanProgress(stage string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", stage, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
-	fmt.Printf("scan wall time %v; per-scenario run times sum to %v (%.1fx concurrency)\n\n",
-		elapsed.Round(time.Millisecond), sum.Round(time.Millisecond),
-		float64(sum)/float64(elapsed))
-	return sweep.FirstError(results)
+}
+
+// runBatchedScan runs the v0 x vth scan with the DL field method twice:
+// once on the per-call path (one cloned solver per scenario, Predict1
+// every step) and once through the batched inference server (one shared
+// network, stacked PredictBatch flushes). It verifies the two result
+// sets are bit-identical and reports timings plus batch statistics. The
+// scan reuses the trained pipeline's base configuration — the model
+// fixes the grid, particle count and normalizer.
+func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, workers, batchN int, paper bool, load string) error {
+	v0s, err := cliutil.ParseFloats(v0sRaw)
+	if err != nil {
+		return err
+	}
+	vths, err := cliutil.ParseFloats(vthsRaw)
+	if err != nil {
+		return err
+	}
+	if len(v0s) == 0 || len(vths) == 0 {
+		return fmt.Errorf("empty scan axes (-scan-v0s %q, -scan-vths %q)", v0sRaw, vthsRaw)
+	}
+	p, err := experiments.New(experiments.Options{
+		Tiny: !paper, Paper: paper, Seed: seed, Log: os.Stderr, SkipCNN: true, LoadModels: load,
+	})
+	if err != nil {
+		return err
+	}
+	scenarios := sweep.Grid(p.Cfg, v0s, vths, repeats, steps, seed)
+	fmt.Printf("== DL growth-rate scan: %d scenarios x %d steps, %d particles each ==\n",
+		len(scenarios), steps, p.Cfg.NumParticles())
+	fmt.Printf("solver: %s\n\n", p.MLP.Net.Summary())
+
+	startPC := time.Now()
+	perCall := sweep.Run(scenarios, sweep.Options{
+		Workers: workers,
+		Method: func(sweep.Scenario) (pic.FieldMethod, error) {
+			return p.MLP.Clone()
+		},
+		Progress: scanProgress("per-call"),
+	})
+	perCallElapsed := time.Since(startPC)
+	if err := sweep.FirstError(perCall); err != nil {
+		return err
+	}
+
+	bs, err := batch.FromNNSolver(p.MLP, batchN)
+	if err != nil {
+		return err
+	}
+	defer bs.Close()
+	startB := time.Now()
+	batchedRes := sweep.Run(scenarios, sweep.Options{
+		Workers:  workers,
+		Batcher:  bs,
+		Progress: scanProgress("batched"),
+	})
+	batchedElapsed := time.Since(startB)
+	if err := sweep.FirstError(batchedRes); err != nil {
+		return err
+	}
+
+	fmt.Println(scanTable(batchedRes))
+	identical := len(perCall) == len(batchedRes)
+	for i := range perCall {
+		if !identical || !sameSamples(perCall[i].Rec.Samples, batchedRes[i].Rec.Samples) {
+			identical = false
+			break
+		}
+	}
+	st := bs.Server.Stats()
+	fmt.Printf("per-call %v -> batched %v (%.2fx); %d field solves in %d flushes (avg batch %.1f, max %d)\n",
+		perCallElapsed.Round(time.Millisecond), batchedElapsed.Round(time.Millisecond),
+		float64(perCallElapsed)/float64(batchedElapsed),
+		st.Requests, st.Batches, st.AvgBatch(), st.MaxBatch)
+	fmt.Printf("batched results bit-identical to per-call: %v\n\n", identical)
+	if !identical {
+		return fmt.Errorf("batched scan diverged from the per-call path")
+	}
+	return nil
+}
+
+// sameSamples reports bitwise equality of two diagnostics series.
+func sameSamples(a, b []diag.Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, oracle bool, steps int, load string) error {

@@ -36,15 +36,28 @@
 //	    fmt.Printf("%s: gamma %.3f (theory %.3f)\n", r.Scenario.Name, r.Growth.Gamma, r.TheoryGamma)
 //	}
 //
+// Batched DL inference. When the sweep's field method is the neural
+// solver, per-scenario Predict1 calls pay one small GEMM per scenario
+// per step. NewBatchedSolver starts an inference server that stacks
+// the concurrent scenarios' field requests into single PredictBatch
+// calls on one shared network:
+//
+//	bs, _ := dlpic.NewBatchedSolver(solver, 0) // 0 = default batch cap
+//	defer bs.Close()
+//	results := dlpic.RunSweep(scs, dlpic.SweepRunOpts{Batcher: bs})
+//
 // Every hot-path kernel reduces through the deterministic chunked
-// primitives of internal/parallel, so simulations — and whole sweeps —
-// are bit-identical at any GOMAXPROCS and any sweep worker count.
+// primitives of internal/parallel, and batched rows are bit-identical
+// to per-call inference, so simulations — and whole sweeps, batched or
+// not — are bit-identical at any GOMAXPROCS, sweep worker count and
+// batch size.
 package dlpic
 
 import (
 	"fmt"
 	"math"
 
+	"dlpic/internal/batch"
 	"dlpic/internal/core"
 	"dlpic/internal/dataset"
 	"dlpic/internal/diag"
@@ -280,6 +293,15 @@ func TrainSolver(arch SolverOpts, train, val *Dataset, tc TrainConfig) (*NNSolve
 	return solver, hist, nil
 }
 
+// WrapSolver wraps a network with its preprocessing contract (binning
+// spec and normalizer fixed at training time) as a deployable DL field
+// solver for a grid of cells cells. TrainSolver does this implicitly;
+// WrapSolver is the escape hatch for externally trained or synthetic
+// networks.
+func WrapSolver(net *Network, spec PhaseSpec, norm Normalizer, cells int) (*NNSolver, error) {
+	return core.NewNNSolver(net, spec, norm, cells)
+}
+
 // EvaluateSolver computes the Table-I metrics of a solver's network on a
 // normalized corpus.
 func EvaluateSolver(s *NNSolver, ds *Dataset) Metrics {
@@ -296,11 +318,20 @@ type (
 	// SweepResult carries one scenario's recorder, growth fit and
 	// conservation metrics.
 	SweepResult = sweep.Result
-	// SweepRunOpts bounds the worker pool and selects the field method.
+	// SweepRunOpts bounds the worker pool and selects the field method
+	// (per-call via Method, or shared batched inference via Batcher).
 	SweepRunOpts = sweep.Options
-	// VlasovScenario / VlasovSweepResult are the Vlasov counterparts.
-	VlasovScenario    = sweep.VlasovScenario
+	// VlasovScenario is one named Vlasov-Poisson run of a sweep.
+	VlasovScenario = sweep.VlasovScenario
+	// VlasovSweepResult is the outcome of one Vlasov scenario.
 	VlasovSweepResult = sweep.VlasovResult
+	// BatchedSolver is a batched DL field-solve backend: one shared
+	// network serving every scenario of a sweep through the
+	// internal/batch inference server. Assign it to SweepRunOpts.Batcher.
+	BatchedSolver = batch.Solver
+	// BatchStats summarizes the traffic a batched solver has served
+	// (rows, flushes, largest batch).
+	BatchStats = batch.Stats
 )
 
 // SweepGrid builds the v0 x vth x repeats scenario cross product over a
@@ -324,6 +355,17 @@ func RunVlasovSweep(scenarios []VlasovScenario, opts SweepRunOpts) []VlasovSweep
 // nil when every scenario succeeded.
 func FirstSweepError(results []SweepResult) error {
 	return sweep.FirstError(results)
+}
+
+// NewBatchedSolver starts a batched inference backend around a trained
+// solver's network: set the result as SweepRunOpts.Batcher and every
+// scenario's field solve is stacked into shared PredictBatch calls,
+// amortizing the network cost across the pool. Results are bit-identical
+// to per-call NNSolver sweeps at any worker count and any maxBatch
+// (<= 0 selects the default cap). Close the solver when the sweeps
+// using it have returned.
+func NewBatchedSolver(s *NNSolver, maxBatch int) (*BatchedSolver, error) {
+	return batch.FromNNSolver(s, maxBatch)
 }
 
 // MeasureGrowthRate fits the exponential growth of the recorded

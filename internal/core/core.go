@@ -144,6 +144,27 @@ func (s *NNSolver) lowPass(e []float64) {
 	s.smoothPlan.InverseReal(e, s.smoothSpec)
 }
 
+// Clone returns an independent copy of the solver: deep-copied network,
+// fresh histogram and input scratch, same binning spec, normalizer and
+// post-processing options. A sweep that runs the DL method on the
+// per-call path needs one clone per scenario, because a solver's
+// network scratch makes sharing an instance across concurrently
+// stepping simulations a data race; the batched inference server
+// (internal/batch) is the alternative that shares one network safely.
+func (s *NNSolver) Clone() (*NNSolver, error) {
+	net, err := nn.Clone(s.Net)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewNNSolver(net, s.Spec, s.Norm, net.OutDim())
+	if err != nil {
+		return nil, err
+	}
+	c.ClampAbs = s.ClampAbs
+	c.SmoothModes = s.SmoothModes
+	return c, nil
+}
+
 // PredictFromHistogram runs the solver on a raw histogram vector
 // (un-normalized bin counts), writing the field into e. Exposed for the
 // evaluation harness.

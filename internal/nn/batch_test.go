@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"dlpic/internal/rng"
+)
+
+// buildArchs returns one network of every architecture family at small
+// sizes (CNN input 8x8 => InDim 64).
+func buildArchs(t *testing.T) map[string]*Network {
+	t.Helper()
+	mlp, err := NewMLP(MLPConfig{InDim: 24, OutDim: 10, Hidden: 16, HiddenLayers: 2}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnn, err := NewCNN(CNNConfig{H: 8, W: 8, OutDim: 6, Channels1: 2, Channels2: 3, Hidden: 12, HiddenLayers: 1}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResMLP(ResMLPConfig{InDim: 24, OutDim: 10, Hidden: 16, Blocks: 2}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Network{"mlp": mlp, "cnn": cnn, "resmlp": res}
+}
+
+// TestPredictBatchMatchesPredict1 is the batching correctness property:
+// every row of a PredictBatch result is bit-identical (==, not within
+// tolerance) to Predict1 on that row, for every architecture family and
+// a spread of batch sizes, regardless of the order rows were stacked.
+func TestPredictBatchMatchesPredict1(t *testing.T) {
+	for name, net := range buildArchs(t) {
+		t.Run(name, func(t *testing.T) {
+			inDim, outDim := net.InDim, net.OutDim()
+			r := rng.New(99)
+			for _, batch := range []int{1, 2, 3, 5, 8, 17} {
+				in := make([]float64, batch*inDim)
+				for i := range in {
+					in[i] = r.NormFloat64()
+				}
+				out := make([]float64, batch*outDim)
+				net.PredictBatch(batch, in, out)
+				ref := make([]float64, outDim)
+				for row := 0; row < batch; row++ {
+					net.Predict1(in[row*inDim:(row+1)*inDim], ref)
+					got := out[row*outDim : (row+1)*outDim]
+					for j := range ref {
+						if got[j] != ref[j] {
+							t.Fatalf("batch %d row %d col %d: batched %v != per-call %v",
+								batch, row, j, got[j], ref[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchInterleaved checks that alternating batch sizes and
+// per-call predictions on the same network never perturb each other
+// (they share layer scratch, resized on demand).
+func TestPredictBatchInterleaved(t *testing.T) {
+	net := buildArchs(t)["mlp"]
+	inDim, outDim := net.InDim, net.OutDim()
+	r := rng.New(7)
+	in := make([]float64, 8*inDim)
+	for i := range in {
+		in[i] = r.NormFloat64()
+	}
+	want := make([]float64, 8*outDim)
+	for row := 0; row < 8; row++ {
+		net.Predict1(in[row*inDim:(row+1)*inDim], want[row*outDim:(row+1)*outDim])
+	}
+	for _, batch := range []int{3, 8, 1, 5, 8, 2} {
+		out := make([]float64, batch*outDim)
+		net.PredictBatch(batch, in[:batch*inDim], out)
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("batch %d: output[%d] = %v, want %v", batch, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPredictBatchShapePanics pins the contract violations down to
+// panics rather than silent corruption.
+func TestPredictBatchShapePanics(t *testing.T) {
+	net := buildArchs(t)["mlp"]
+	for _, tc := range []struct {
+		name  string
+		batch int
+		inLen int
+		out   int
+	}{
+		{"zero-batch", 0, 0, 0},
+		{"short-input", 2, net.InDim, 2 * net.OutDim()},
+		{"short-output", 2, 2 * net.InDim, net.OutDim()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			net.PredictBatch(tc.batch, make([]float64, tc.inLen), make([]float64, tc.out))
+		})
+	}
+}
+
+// TestCloneIndependence verifies Clone copies weights bit-exactly and
+// decouples scratch: predictions agree, and mutating the clone's
+// weights does not leak into the original.
+func TestCloneIndependence(t *testing.T) {
+	for name, net := range buildArchs(t) {
+		t.Run(name, func(t *testing.T) {
+			clone, err := Clone(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := make([]float64, net.InDim)
+			r := rng.New(5)
+			for i := range in {
+				in[i] = r.NormFloat64()
+			}
+			a := make([]float64, net.OutDim())
+			b := make([]float64, net.OutDim())
+			net.Predict1(in, a)
+			clone.Predict1(in, b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("clone diverges at %d: %v vs %v", i, a[i], b[i])
+				}
+			}
+			clone.Params()[0].W.Data[0] += 1
+			clone.Predict1(in, b)
+			net.Predict1(in, a)
+			same := true
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("mutating the clone did not change its output relative to the original")
+			}
+		})
+	}
+}
+
+func ExampleNetwork_Summary() {
+	net, _ := NewMLP(MLPConfig{InDim: 4, OutDim: 2, Hidden: 3, HiddenLayers: 1}, rng.New(1))
+	fmt.Println(net.Summary())
+	// Output: input(4) -> dense(4x3) -> relu -> dense(3x2)  [23 params]
+}

@@ -104,11 +104,21 @@ func (d *Dense) Params() []*Param {
 	}
 }
 
+// ensure2D returns a [rows, cols] scratch tensor, reusing buf's
+// backing storage grow-only: shrinking the row count (batched inference
+// flushes fluctuate with pool timing) reslices in place instead of
+// reallocating. Callers fully overwrite the contents every use.
 func ensure2D(buf **tensor.Tensor, rows, cols int) *tensor.Tensor {
-	if *buf == nil || (*buf).Shape[0] != rows || (*buf).Shape[1] != cols {
+	t := *buf
+	if t == nil || t.Shape[1] != cols || cap(t.Data) < rows*cols {
 		*buf = tensor.New(rows, cols)
+		return *buf
 	}
-	return *buf
+	if t.Shape[0] != rows {
+		t.Shape[0] = rows
+		t.Data = t.Data[:rows*cols]
+	}
+	return t
 }
 
 // Forward implements Layer.

@@ -14,6 +14,7 @@ type Network struct {
 	InDim int
 
 	in1 *tensor.Tensor // batch-1 scratch for Predict1
+	inB *tensor.Tensor // batched scratch for PredictBatch
 }
 
 // NewNetwork validates that the layer widths chain correctly from inDim
@@ -103,6 +104,37 @@ func (n *Network) Predict1(in, out []float64) {
 	if len(out) != y.Cols() {
 		panic(fmt.Sprintf("nn: Predict1 output length %d, want %d", len(out), y.Cols()))
 	}
+	copy(out, y.Data)
+}
+
+// PredictBatch evaluates the network on batch stacked samples: in holds
+// batch rows of InDim values back to back, and the corresponding rows
+// of OutDim() outputs are written to out in the same order. One Forward
+// pass services the whole stack, so each layer's weight matrix is
+// streamed once per batch instead of once per sample (see the k-outer
+// GEMM in internal/tensor) — the primitive the internal/batch inference
+// server uses to amortize the DL field solve across concurrent
+// simulations.
+//
+// Row r of the result is bit-identical to Predict1 on row r: every
+// layer computes output rows independently from the matching input row
+// with the same per-element operation order, so batching — at any
+// batch size and in any row order — never changes a sample's result.
+// Like Predict1 it reuses an internal input tensor and is
+// allocation-light in steady state for a fixed batch size.
+func (n *Network) PredictBatch(batch int, in, out []float64) {
+	if batch < 1 {
+		panic(fmt.Sprintf("nn: PredictBatch batch %d, want >= 1", batch))
+	}
+	if len(in) != batch*n.InDim {
+		panic(fmt.Sprintf("nn: PredictBatch input length %d, want %d x %d", len(in), batch, n.InDim))
+	}
+	if outDim := n.OutDim(); len(out) != batch*outDim {
+		panic(fmt.Sprintf("nn: PredictBatch output length %d, want %d x %d", len(out), batch, outDim))
+	}
+	ensure2D(&n.inB, batch, n.InDim)
+	copy(n.inB.Data, in)
+	y := n.Forward(n.inB)
 	copy(out, y.Data)
 }
 

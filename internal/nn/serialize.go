@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -132,6 +133,20 @@ func Load(r io.Reader) (*Network, error) {
 		layers = append(layers, l)
 	}
 	return NewNetwork(file.InDim, layers...)
+}
+
+// Clone returns a deep copy of the network: same architecture,
+// bit-identical weights, fresh scratch. A Network's forward scratch
+// makes sharing one instance across concurrently stepping simulations a
+// data race, so per-scenario sweeps on the per-call path clone the
+// solver network once per scenario; the batched inference server
+// (internal/batch) is the alternative that shares a single instance.
+func Clone(net *Network) (*Network, error) {
+	var buf bytes.Buffer
+	if err := Save(net, &buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
 }
 
 // SaveFile saves the network to path.

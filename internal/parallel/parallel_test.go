@@ -42,4 +42,3 @@ func TestForZeroAndNegative(t *testing.T) {
 		t.Fatal("body must not run for n <= 0")
 	}
 }
-

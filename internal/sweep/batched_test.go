@@ -1,0 +1,150 @@
+package sweep_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dlpic/internal/batch"
+	"dlpic/internal/core"
+	"dlpic/internal/interp"
+	"dlpic/internal/nn"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/pic"
+	"dlpic/internal/rng"
+	"dlpic/internal/sweep"
+)
+
+// dlFixture builds a small untrained-but-deterministic DL solver and a
+// scenario grid sized for seconds-scale test runs. The weights are
+// random yet fixed by seed, which is all determinism testing needs —
+// the physics of an untrained net is meaningless but perfectly
+// reproducible.
+func dlFixture(t *testing.T) (*core.NNSolver, []sweep.Scenario) {
+	t.Helper()
+	cfg := pic.Default()
+	cfg.Cells = 16
+	cfg.ParticlesPerCell = 25
+	spec := phasespace.GridSpec{NX: 16, NV: 8, L: cfg.Length, VMin: -0.8, VMax: 0.8, Binning: interp.NGP}
+	net, err := nn.NewMLP(nn.MLPConfig{InDim: spec.Size(), OutDim: cfg.Cells, Hidden: 12, HiddenLayers: 2}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := core.NewNNSolver(net, spec, phasespace.Normalizer{Min: 0, Max: 50}, cfg.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := sweep.Grid(cfg, []float64{0.15, 0.2}, []float64{0, 0.025}, 1, 8, 7)
+	return solver, scs
+}
+
+// resultKey flattens the determinism-relevant parts of a sweep result
+// for bitwise comparison.
+func resultKey(r sweep.Result) string {
+	s := fmt.Sprintf("%q err=%v fit=%v", r.Scenario.Name, r.Err, r.FitOK)
+	for _, smp := range r.Rec.Samples {
+		s += fmt.Sprintf(" %x %x %x %x %x",
+			smp.Kinetic, smp.Field, smp.Total, smp.Momentum, smp.ModeAmp)
+	}
+	for i := range r.FinalX {
+		s += fmt.Sprintf(" %x:%x", r.FinalX[i], r.FinalV[i])
+	}
+	return s
+}
+
+func runKeys(t *testing.T, scs []sweep.Scenario, opts sweep.Options) []string {
+	t.Helper()
+	opts.SkipFit = true
+	opts.KeepFinalState = true
+	results := sweep.Run(scs, opts)
+	if err := sweep.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(results))
+	for i, r := range results {
+		keys[i] = resultKey(r)
+	}
+	return keys
+}
+
+// TestBatchedSweepMatchesPerCall is the acceptance property of the
+// batched path: for every worker count and every batch cap, a batched
+// sweep is bit-identical per scenario to the per-call sweep that clones
+// the solver for each scenario.
+func TestBatchedSweepMatchesPerCall(t *testing.T) {
+	solver, scs := dlFixture(t)
+	perCall := runKeys(t, scs, sweep.Options{
+		Workers: 1,
+		Method: func(sweep.Scenario) (pic.FieldMethod, error) {
+			return solver.Clone()
+		},
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, maxBatch := range []int{1, 2, 64} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, maxBatch), func(t *testing.T) {
+				bs, err := batch.FromNNSolver(solver, maxBatch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer bs.Close()
+				got := runKeys(t, scs, sweep.Options{Workers: workers, Batcher: bs})
+				for i := range perCall {
+					if got[i] != perCall[i] {
+						t.Fatalf("scenario %d (%s) diverged from per-call path", i, scs[i].Name)
+					}
+				}
+				st := bs.Server.Stats()
+				if st.MaxBatch > maxBatch {
+					t.Fatalf("flush of %d rows exceeded cap %d", st.MaxBatch, maxBatch)
+				}
+				// Every scenario issues Steps+1 solves (initial field +
+				// one per step).
+				want := len(scs) * (scs[0].Steps + 1)
+				if st.Requests != want {
+					t.Fatalf("served %d rows, want %d", st.Requests, want)
+				}
+			})
+		}
+	}
+}
+
+// TestBatcherMethodMutuallyExclusive pins the Options contract.
+func TestBatcherMethodMutuallyExclusive(t *testing.T) {
+	solver, scs := dlFixture(t)
+	bs, err := batch.FromNNSolver(solver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	results := sweep.Run(scs[:1], sweep.Options{
+		Batcher: bs,
+		Method: func(sweep.Scenario) (pic.FieldMethod, error) {
+			return solver.Clone()
+		},
+	})
+	if err := sweep.FirstError(results); err == nil {
+		t.Fatal("Method+Batcher accepted")
+	}
+}
+
+// TestBatchedSweepScenarioError verifies a failing scenario releases
+// its batch client so the remaining scenarios still complete.
+func TestBatchedSweepScenarioError(t *testing.T) {
+	solver, scs := dlFixture(t)
+	bad := scs[0]
+	bad.Steps = 0 // invalid: rejected before the simulation is built
+	mixed := append([]sweep.Scenario{bad}, scs...)
+	bs, err := batch.FromNNSolver(solver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	results := sweep.Run(mixed, sweep.Options{Workers: 4, Batcher: bs})
+	if results[0].Err == nil {
+		t.Fatal("invalid scenario did not error")
+	}
+	for i, r := range results[1:] {
+		if r.Err != nil {
+			t.Fatalf("scenario %d failed after sibling error: %v", i+1, r.Err)
+		}
+	}
+}

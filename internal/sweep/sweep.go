@@ -15,6 +15,7 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -43,6 +44,20 @@ type Scenario struct {
 // concurrently stepping simulations). A nil factory selects the
 // traditional deposit+Poisson method.
 type MethodFactory func(sc Scenario) (pic.FieldMethod, error)
+
+// Batcher builds per-scenario field methods that share one batched
+// inference backend: instead of every scenario paying its own network
+// call (and owning its own network clone), the methods a Batcher hands
+// out submit their field requests to a common server that stacks them
+// into single batched predictions. internal/batch.Solver implements
+// this interface. Methods returned by a Batcher (or a MethodFactory)
+// that implement io.Closer are closed when their scenario finishes, so
+// the backend can track how many scenarios are still requesting.
+type Batcher interface {
+	// FieldMethod returns a field method for one scenario of the given
+	// configuration, owned by that scenario's simulation exclusively.
+	FieldMethod(cfg pic.Config) (pic.FieldMethod, error)
+}
 
 // Result is the outcome of one scenario.
 type Result struct {
@@ -75,6 +90,11 @@ type Options struct {
 	Workers int
 	// Method builds the per-scenario field method (nil = traditional).
 	Method MethodFactory
+	// Batcher, if non-nil, routes every scenario's field solve through
+	// a shared batched-inference backend (see internal/batch). Results
+	// are bit-identical to the per-call path at any worker count and
+	// batch size. Mutually exclusive with Method.
+	Batcher Batcher
 	// SkipFit disables the growth-rate fit (e.g. for non-unstable
 	// configurations where no growth window exists).
 	SkipFit bool
@@ -115,13 +135,29 @@ func runOne(sc Scenario, opts Options) (res Result) {
 		return res
 	}
 	var method pic.FieldMethod
-	if opts.Method != nil {
+	switch {
+	case opts.Method != nil && opts.Batcher != nil:
+		res.Err = fmt.Errorf("sweep: scenario %q: Options.Method and Options.Batcher are mutually exclusive", sc.Name)
+		return res
+	case opts.Batcher != nil:
+		m, err := opts.Batcher.FieldMethod(sc.Cfg)
+		if err != nil {
+			res.Err = fmt.Errorf("sweep: scenario %q: batcher: %w", sc.Name, err)
+			return res
+		}
+		method = m
+	case opts.Method != nil:
 		m, err := opts.Method(sc)
 		if err != nil {
 			res.Err = fmt.Errorf("sweep: scenario %q: method: %w", sc.Name, err)
 			return res
 		}
 		method = m
+	}
+	// Methods holding backend resources (e.g. a batch-server client)
+	// release them when the scenario is done, success or failure.
+	if c, ok := method.(io.Closer); ok {
+		defer c.Close()
 	}
 	sim, err := pic.New(sc.Cfg, method)
 	if err != nil {

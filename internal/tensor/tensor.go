@@ -279,25 +279,67 @@ func MatMul(dst, a, b *Tensor, transA, transB bool) {
 // threshold below which the row loop runs inline (tiny matrices).
 const gemmParThreshold = 8
 
-// matMulNN: dst[i][j] = sum_k a[i][k] b[k][j]  (ikj loop, axpy inner).
+// gemmColThreshold is the column count below which the NN kernel runs
+// inline (tiny output widths are not worth goroutines).
+const gemmColThreshold = 256
+
+// matMulNN: dst[i][j] = sum_k a[i][k] b[k][j], k-outer loop order: each
+// row of b is loaded once and applied to every output row while hot in
+// cache, so an m-row batch streams b once instead of m times. This is
+// the GEMM the batched inference path leans on — b is the weight
+// matrix, and stacking rows amortizes its memory traffic across the
+// batch. The per-element accumulation order (k ascending, zero
+// a-entries skipped) matches the row-major loop exactly, and every
+// output row depends only on the matching input row, so batched results
+// are bit-identical per-row to the batch-1 call. Parallelism is over
+// output columns: workers own disjoint column ranges, no reduction
+// order exists.
 func matMulNN(dst, a, b *Tensor) {
 	m, kk := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
-	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
-		for i := start; i < end; i++ {
+	if n < gemmColThreshold && m >= gemmParThreshold {
+		// Narrow outputs give column-parallelism nothing to split;
+		// split over rows instead (per-element order unchanged: each
+		// output element still accumulates k ascending with the same
+		// zero skip, so both paths are bit-identical).
+		parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
+			for i := start; i < end; i++ {
+				di := dst.Data[i*n : (i+1)*n]
+				for j := range di {
+					di[j] = 0
+				}
+				ai := a.Data[i*kk : (i+1)*kk]
+				for k := 0; k < kk; k++ {
+					aik := ai[k]
+					if aik == 0 {
+						continue
+					}
+					bk := b.Data[k*n : (k+1)*n]
+					for j, bv := range bk {
+						di[j] += aik * bv
+					}
+				}
+			}
+		})
+		return
+	}
+	parallel.ForThreshold(n, gemmColThreshold, func(js, je int) {
+		for i := 0; i < m; i++ {
 			di := dst.Data[i*n : (i+1)*n]
-			for j := range di {
+			for j := js; j < je; j++ {
 				di[j] = 0
 			}
-			ai := a.Data[i*kk : (i+1)*kk]
-			for k := 0; k < kk; k++ {
-				aik := ai[k]
+		}
+		for k := 0; k < kk; k++ {
+			bk := b.Data[k*n : (k+1)*n]
+			for i := 0; i < m; i++ {
+				aik := a.Data[i*kk+k]
 				if aik == 0 {
 					continue
 				}
-				bk := b.Data[k*n : (k+1)*n]
-				for j, bv := range bk {
-					di[j] += aik * bv
+				di := dst.Data[i*n : (i+1)*n]
+				for j := js; j < je; j++ {
+					di[j] += aik * bk[j]
 				}
 			}
 		}
