@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench docs ci
+.PHONY: all build test vet race race-train bench bench-json docs ci
 
 all: ci
 
@@ -22,11 +22,23 @@ race:
 		./internal/pic/ ./internal/pic2d/ ./internal/sweep/ ./internal/dataset/ \
 		./internal/tensor/ ./internal/vlasov/ ./internal/batch/
 
-# bench measures the parallel hot path, sweep throughput and batched
-# inference at 1, 4 and all cores (bit-identical physics at every -cpu
-# setting).
+# race-train runs the training-engine determinism property tests under
+# the race detector (the full nn suite is too slow under -race; these
+# are the tests that exercise the concurrent shard workers).
+race-train:
+	$(GO) test -race -run 'BitIdentical|Sharded|TailBatch|ShardEngine|ForwardShard' ./internal/nn/
+
+# bench measures the parallel hot path, sweep throughput, batched
+# inference and sharded training at 1, 4 and all cores (bit-identical
+# physics and weights at every -cpu setting).
 bench:
-	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched' -cpu 1,4,8 -benchtime 2s .
+	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched|Training' -cpu 1,4,8 -benchtime 2s .
+
+# bench-json records the training / inference / sweep benchmark numbers
+# as JSON (BENCH_PR3.json) so future PRs can diff performance.
+bench-json:
+	$(GO) test -run xxx -bench 'Training|Batched|Sweep' -cpu 1,4,8 -benchtime 1s . \
+		| $(GO) run ./tools/benchjson -out BENCH_PR3.json
 
 # docs fails when an exported identifier lacks a doc comment, keeping
 # `go doc` usable as the API reference.

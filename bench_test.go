@@ -339,6 +339,112 @@ func BenchmarkAblation_EnergyConservingGather(b *testing.B) {
 	}
 }
 
+// BenchmarkTraining_ShardedFit compares the single-shard serial
+// training path (Shards=1, Workers=1 — the pre-sharding reference)
+// against the deterministic data-parallel engine on a paper-shaped MLP
+// (4096 phase-space inputs, batch 64). One op is one epoch over 64
+// samples. All variants produce bit-identical weights for a given
+// shard count; run with -cpu 1,4,8 to see worker scaling (Workers >
+// GOMAXPROCS adds only scheduling overhead).
+func BenchmarkTraining_ShardedFit(b *testing.B) {
+	const inDim, outDim, hidden, n = 4096, 64, 256, 64
+	r := rng.New(51)
+	x := tensor.New(n, inDim)
+	y := tensor.New(n, outDim)
+	x.RandomNormal(r, 1)
+	y.RandomNormal(r, 0.1)
+	for _, tc := range []struct {
+		name            string
+		workers, shards int
+	}{
+		{"serial", 1, 1},
+		{"sharded-w1", 1, 0},
+		{"sharded-w2", 2, 0},
+		{"sharded-w4", 4, 0},
+		{"sharded-w8x8", 8, 8}, // explicit 8 shards: auto picks 4 for batch 64
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			net, err := nn.NewMLP(nn.MLPConfig{
+				InDim: inDim, OutDim: outDim, Hidden: hidden, HiddenLayers: 3}, rng.New(52))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := nn.NewAdam(1e-4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nn.Fit(net, x, y, nil, nil, nn.TrainConfig{
+					Epochs: 1, BatchSize: 64, Optimizer: opt, Loss: nn.MSE{},
+					Seed: uint64(i), Workers: tc.workers, Shards: tc.shards,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraining_CNNShardedFit is the CNN counterpart on the
+// fixture-scale architecture: conv layers loop over samples serially
+// within a shard, so batch sharding is the only batch-level
+// parallelism the conv path has.
+func BenchmarkTraining_CNNShardedFit(b *testing.B) {
+	const h, w, outDim, n = 16, 16, 16, 64
+	r := rng.New(53)
+	x := tensor.New(n, h*w)
+	y := tensor.New(n, outDim)
+	x.RandomNormal(r, 1)
+	y.RandomNormal(r, 0.1)
+	for _, tc := range []struct {
+		name            string
+		workers, shards int
+	}{
+		{"serial", 1, 1},
+		{"sharded-w1", 1, 0},
+		{"sharded-w4", 4, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			net, err := nn.NewCNN(nn.CNNConfig{
+				H: h, W: w, OutDim: outDim, Channels1: 4, Channels2: 8,
+				Kernel: 3, Hidden: 64, HiddenLayers: 2}, rng.New(54))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := nn.NewAdam(1e-4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nn.Fit(net, x, y, nil, nil, nn.TrainConfig{
+					Epochs: 1, BatchSize: 64, Optimizer: opt, Loss: nn.MSE{},
+					Seed: uint64(i), Workers: tc.workers, Shards: tc.shards,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraining_Evaluate times the parallel deterministic Evaluate
+// on a paper-shaped MLP over a 512-sample set (batch 64).
+func BenchmarkTraining_Evaluate(b *testing.B) {
+	const inDim, outDim, n = 4096, 64, 512
+	net, err := nn.NewMLP(nn.MLPConfig{InDim: inDim, OutDim: outDim, Hidden: 256, HiddenLayers: 3}, rng.New(55))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(56)
+	x := tensor.New(n, inDim)
+	y := tensor.New(n, outDim)
+	x.RandomNormal(r, 1)
+	y.RandomNormal(r, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.Evaluate(net, x, y, 64)
+	}
+}
+
 // BenchmarkTraining_MLPEpoch times one training epoch of the tiny MLP
 // (the offline cost of the paper's method).
 func BenchmarkTraining_MLPEpoch(b *testing.B) {

@@ -52,6 +52,7 @@ func main() {
 		scanRep = flag.Int("scan-repeats", 1, "scan repeats per combination")
 		scanPPC = flag.Int("scan-ppc", 250, "scan particles per cell (ignored with -batched: the trained model fixes it)")
 		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS); results are bit-identical for any value")
+		trainW  = flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); trained weights are bit-identical for any value")
 		batched = flag.Bool("batched", false, "run the scan with the DL field method, per-call vs batched inference (trains a model unless -load-models)")
 		batchN  = flag.Int("batch", 0, "batched-inference flush cap (0 = default)")
 	)
@@ -59,7 +60,7 @@ func main() {
 	if *scan {
 		var err error
 		if *batched {
-			err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load)
+			err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load, *trainW)
 		} else {
 			err = runScan(*scanV0s, *scanVth, *scanRep, *scanPPC, *steps, *seed, *workers)
 		}
@@ -73,7 +74,7 @@ func main() {
 			return
 		}
 	}
-	if err := run(*paper, *tiny, *seed, *outdir, *skipCNN, *table1, *fig4, *fig5, *fig6, *oracle, *steps, *load); err != nil {
+	if err := run(*paper, *tiny, *seed, *outdir, *skipCNN, *table1, *fig4, *fig5, *fig6, *oracle, *steps, *load, *trainW); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -161,7 +162,7 @@ func scanProgress(stage string) func(done, total int) {
 // sets are bit-identical and reports timings plus batch statistics. The
 // scan reuses the trained pipeline's base configuration — the model
 // fixes the grid, particle count and normalizer.
-func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, workers, batchN int, paper bool, load string) error {
+func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, workers, batchN int, paper bool, load string, trainWorkers int) error {
 	v0s, err := cliutil.ParseFloats(v0sRaw)
 	if err != nil {
 		return err
@@ -175,6 +176,7 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 	}
 	p, err := experiments.New(experiments.Options{
 		Tiny: !paper, Paper: paper, Seed: seed, Log: os.Stderr, SkipCNN: true, LoadModels: load,
+		TrainWorkers: trainWorkers,
 	})
 	if err != nil {
 		return err
@@ -246,7 +248,7 @@ func sameSamples(a, b []diag.Sample) bool {
 	return true
 }
 
-func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, oracle bool, steps int, load string) error {
+func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, oracle bool, steps int, load string, trainWorkers int) error {
 	// -oracle is additive: it never suppresses the main suite.
 	all := !t1 && !f4 && !f5 && !f6
 	if outdir != "" {
@@ -263,7 +265,7 @@ func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, 
 	}
 	p, err := experiments.New(experiments.Options{
 		Paper: paper, Tiny: tiny, Seed: seed, Log: os.Stderr, SkipCNN: skipCNN,
-		ModelDir: modelDir, LoadModels: load,
+		ModelDir: modelDir, LoadModels: load, TrainWorkers: trainWorkers,
 	})
 	if err != nil {
 		return err

@@ -42,6 +42,7 @@ func main() {
 		testN  = flag.Int("test", 0, "test samples (0 = 1/40 of corpus)")
 		seed   = flag.Uint64("seed", 1, "seed for init and shuffling")
 		cells  = flag.Int("grid-cells", 64, "PIC grid cells (for the pinn loss dx)")
+		tw     = flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); weights and losses are bit-identical for any value")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -49,14 +50,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*data, *out, *arch, *hidden, *layers, *ch1, *ch2, *blocks,
-		*epochs, *batch, *lr, *loss, *valN, *testN, *seed, *cells); err != nil {
+		*epochs, *batch, *lr, *loss, *valN, *testN, *seed, *cells, *tw); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
 func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
-	epochs, batch int, lr float64, lossName string, valN, testN int, seed uint64, gridCells int) error {
+	epochs, batch int, lr float64, lossName string, valN, testN int, seed uint64, gridCells, trainWorkers int) error {
 	ds, err := dataset.LoadFile(data)
 	if err != nil {
 		return err
@@ -122,6 +123,7 @@ func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
 	hist, err := nn.Fit(net, train.Inputs, train.Targets, val.Inputs, val.Targets, nn.TrainConfig{
 		Epochs: epochs, BatchSize: batch, Optimizer: nn.NewAdam(lr),
 		Loss: lossFn, Seed: seed + 2, Log: os.Stderr, LogEvery: 5,
+		Workers: trainWorkers,
 	})
 	if err != nil {
 		return err

@@ -49,6 +49,10 @@ type Options struct {
 	// the directory instead of training (corpus generation still runs —
 	// it is cheap and Table I needs the test partitions).
 	LoadModels string
+	// TrainWorkers is the data-parallel worker count of the sharded
+	// training engine (0 = GOMAXPROCS). Trained weights, losses and
+	// histories are bit-identical for any value.
+	TrainWorkers int
 }
 
 // Pipeline holds the shared state of the evaluation: the corpus, the
@@ -249,6 +253,7 @@ func New(opts Options) (*Pipeline, error) {
 		nn.TrainConfig{
 			Epochs: mlpEpochs, BatchSize: 64, Optimizer: nn.NewAdam(lr),
 			Loss: nn.MSE{}, Seed: opts.Seed + 3, Log: opts.Log, LogEvery: 5,
+			Workers: opts.TrainWorkers,
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MLP training: %w", err)
@@ -282,6 +287,7 @@ func New(opts Options) (*Pipeline, error) {
 			nn.TrainConfig{
 				Epochs: cnnEpochs, BatchSize: 64, Optimizer: nn.NewAdam(lr),
 				Loss: nn.MSE{}, Seed: opts.Seed + 5, Log: opts.Log, LogEvery: 5,
+				Workers: opts.TrainWorkers,
 			})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: CNN training: %w", err)

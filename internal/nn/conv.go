@@ -27,8 +27,6 @@ type Conv2D struct {
 	dx   *tensor.Tensor
 	cols *tensor.Tensor // [InC*K*K, H*W] im2col scratch (one sample)
 	dcol *tensor.Tensor
-	dyS  *tensor.Tensor // [OutC, H*W] per-sample dy view scratch
-	dwS  *tensor.Tensor
 }
 
 // NewConv2D constructs a same-padded stride-1 convolution with
@@ -168,34 +166,60 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return c.backward(dy, true)
+}
+
+// backwardParamsOnly is Backward without the input gradient (the
+// W^T·dy GEMM and col2im scatter per sample) — see Network.backwardTrain.
+func (c *Conv2D) backwardParamsOnly(dy *tensor.Tensor) {
+	c.backward(dy, false)
+}
+
+func (c *Conv2D) backward(dy *tensor.Tensor, wantDX bool) *tensor.Tensor {
 	if c.x == nil {
 		panic("nn: conv Backward before Forward")
 	}
 	batch := dy.Rows()
 	hw := c.H * c.W
-	dx := ensure2D(&c.dx, batch, c.InC*hw)
-	dx.Zero()
-	ensure2D(&c.dcol, c.InC*c.K*c.K, hw)
-	ensure2D(&c.dwS, c.OutC, c.InC*c.K*c.K)
+	var dx *tensor.Tensor
+	if wantDX {
+		dx = ensure2D(&c.dx, batch, c.InC*hw)
+		dx.Zero()
+		ensure2D(&c.dcol, c.InC*c.K*c.K, hw)
+	}
 	for s := 0; s < batch; s++ {
 		// Recompute the im2col of this sample (cheaper than caching all
 		// columns for the batch: memory O(1 sample) instead of O(batch)).
 		c.im2col(c.x.Row(s))
 		dyS := tensor.FromSlice(dy.Row(s), c.OutC, hw)
-		// dW += dy_s · cols^T
-		tensor.MatMul(c.dwS, dyS, c.cols, false, true)
-		tensor.AddScaled(c.dW, 1, c.dwS)
-		// db += per-channel sums.
+		// dW accumulates dy_s · cols^T over the batch's samples; the
+		// first sample writes (per the Layer contract, gradients are
+		// overwritten, so the buffer needs no pre-zeroing), the rest
+		// accumulate. Each element's per-sample dot product is formed in
+		// full before the add, so the chain matches the old
+		// scratch-then-add path.
+		if s == 0 {
+			tensor.MatMul(c.dW, dyS, c.cols, false, true)
+		} else {
+			tensor.MatMulAcc(c.dW, dyS, c.cols, false, true)
+		}
+		// db accumulates the per-channel sums the same way.
 		for oc := 0; oc < c.OutC; oc++ {
 			var sum float64
 			for _, v := range dyS.Row(oc) {
 				sum += v
 			}
-			c.dB.Data[oc] += sum
+			if s == 0 {
+				c.dB.Data[oc] = sum
+			} else {
+				c.dB.Data[oc] += sum
+			}
 		}
-		// dcols = W^T · dy_s, then scatter back.
-		tensor.MatMul(c.dcol, c.Wt, dyS, true, false)
-		c.col2im(dx.Row(s))
+		if wantDX {
+			// dcols = W^T · dy_s, then scatter back.
+			tensor.MatMul(c.dcol, c.Wt, dyS, true, false)
+			c.col2im(dx.Row(s))
+		}
 	}
 	return dx
 }

@@ -37,9 +37,11 @@ type Layer interface {
 	// Forward computes the batch output. The returned tensor is owned by
 	// the layer and valid until the next Forward call.
 	Forward(x *tensor.Tensor) *tensor.Tensor
-	// Backward consumes dL/d(output) and returns dL/d(input),
-	// accumulating parameter gradients. Must be called after Forward
-	// with the matching batch.
+	// Backward consumes dL/d(output) and returns dL/d(input), writing
+	// this pass's parameter gradients (overwriting the previous
+	// pass's — callers that need accumulation across passes sum the
+	// gradients externally, as the sharded trainer's ordered fold
+	// does). Must be called after Forward with the matching batch.
 	Backward(dy *tensor.Tensor) *tensor.Tensor
 	// Params returns the trainable parameters (empty for stateless
 	// layers).
@@ -61,10 +63,9 @@ type Dense struct {
 	B              *tensor.Tensor // [1, OutDim]
 	dW, dB         *tensor.Tensor
 
-	x         *tensor.Tensor // cached input (reference, not copy)
-	out       *tensor.Tensor
-	dx        *tensor.Tensor
-	dwScratch *tensor.Tensor // per-batch dW product, accumulated into dW
+	x   *tensor.Tensor // cached input (reference, not copy)
+	out *tensor.Tensor
+	dx  *tensor.Tensor
 }
 
 // NewDense constructs a dense layer with He-uniform initialization
@@ -135,21 +136,24 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if d.x == nil {
-		panic("nn: dense Backward before Forward")
-	}
-	// dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
-	dwTmp := ensure2D(&d.dwScratch, d.InDim, d.OutDim_)
-	tensor.MatMul(dwTmp, d.x, dy, true, false)
-	tensor.AddScaled(d.dW, 1, dwTmp)
-	dbTmp := make([]float64, d.OutDim_)
-	tensor.SumRows(dbTmp, dy)
-	for i, v := range dbTmp {
-		d.dB.Data[i] += v
-	}
+	d.backwardParamsOnly(dy)
 	dx := ensure2D(&d.dx, dy.Rows(), d.InDim)
 	tensor.MatMul(dx, dy, d.W, false, true)
 	return dx
+}
+
+// backwardParamsOnly computes dW = x^T dy and db = column sums of dy
+// without forming dL/d(input) — the input-gradient GEMM streams W once
+// more, pure waste when this is a network's first layer (see
+// Network.backwardTrain). Gradients are written, not accumulated (see
+// the Layer contract), so no scratch product tensor and no pre-zeroing
+// of the gradient buffers is needed.
+func (d *Dense) backwardParamsOnly(dy *tensor.Tensor) {
+	if d.x == nil {
+		panic("nn: dense Backward before Forward")
+	}
+	tensor.MatMul(d.dW, d.x, dy, true, false)
+	tensor.SumRows(d.dB.Data, dy)
 }
 
 // ---------------------------------------------------------------------------

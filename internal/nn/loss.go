@@ -11,8 +11,19 @@ import (
 // gradient of the mean loss with respect to the predictions.
 type Loss interface {
 	// Forward returns the scalar batch loss and writes dL/dpred into
-	// grad (same shape as pred).
+	// grad (same shape as pred). Equivalent to ForwardShard with
+	// totalRows = pred.Rows().
 	Forward(pred, target, grad *tensor.Tensor) float64
+	// ForwardShard scores a shard of a larger minibatch: pred, target
+	// and grad hold only the shard's rows, while totalRows is the full
+	// batch's row count. Both the written gradients and the returned
+	// loss contribution are normalized by the full batch size, so (a)
+	// each row's gradient is bit-identical to the one the full-batch
+	// Forward would write for that row, and (b) summing the
+	// contributions of disjoint shards yields the full-batch loss.
+	// This is the seam the data-parallel training engine shards
+	// backpropagation through.
+	ForwardShard(pred, target, grad *tensor.Tensor, totalRows int) float64
 	Name() string
 }
 
@@ -30,9 +41,14 @@ type MSE struct{}
 func (MSE) Name() string { return "mse" }
 
 // Forward implements Loss.
-func (MSE) Forward(pred, target, grad *tensor.Tensor) float64 {
+func (l MSE) Forward(pred, target, grad *tensor.Tensor) float64 {
+	return l.ForwardShard(pred, target, grad, pred.Rows())
+}
+
+// ForwardShard implements Loss.
+func (MSE) ForwardShard(pred, target, grad *tensor.Tensor, totalRows int) float64 {
 	checkLossShapes(pred, target, grad)
-	n := float64(pred.Len())
+	n := float64(totalRows * pred.Cols())
 	var sum float64
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
@@ -50,9 +66,14 @@ type MAE struct{}
 func (MAE) Name() string { return "mae" }
 
 // Forward implements Loss.
-func (MAE) Forward(pred, target, grad *tensor.Tensor) float64 {
+func (l MAE) Forward(pred, target, grad *tensor.Tensor) float64 {
+	return l.ForwardShard(pred, target, grad, pred.Rows())
+}
+
+// ForwardShard implements Loss.
+func (MAE) ForwardShard(pred, target, grad *tensor.Tensor, totalRows int) float64 {
 	checkLossShapes(pred, target, grad)
-	n := float64(pred.Len())
+	n := float64(totalRows * pred.Cols())
 	var sum float64
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
@@ -77,12 +98,17 @@ func (h Huber) Name() string { return fmt.Sprintf("huber(%g)", h.Delta) }
 
 // Forward implements Loss.
 func (h Huber) Forward(pred, target, grad *tensor.Tensor) float64 {
+	return h.ForwardShard(pred, target, grad, pred.Rows())
+}
+
+// ForwardShard implements Loss.
+func (h Huber) ForwardShard(pred, target, grad *tensor.Tensor, totalRows int) float64 {
 	checkLossShapes(pred, target, grad)
 	delta := h.Delta
 	if delta <= 0 {
 		delta = 1
 	}
-	n := float64(pred.Len())
+	n := float64(totalRows * pred.Cols())
 	var sum float64
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
@@ -127,12 +153,19 @@ func (p PhysicsMSE) Name() string {
 
 // Forward implements Loss.
 func (p PhysicsMSE) Forward(pred, target, grad *tensor.Tensor) float64 {
+	return p.ForwardShard(pred, target, grad, pred.Rows())
+}
+
+// ForwardShard implements Loss. Every penalty is per-sample, so a
+// shard's rows contribute independently; only the normalizations use
+// the full batch size.
+func (p PhysicsMSE) ForwardShard(pred, target, grad *tensor.Tensor, totalRows int) float64 {
 	checkLossShapes(pred, target, grad)
 	if p.Dx <= 0 {
 		panic("nn: PhysicsMSE requires positive Dx")
 	}
 	rows, cols := pred.Shape[0], pred.Shape[1]
-	n := float64(pred.Len())
+	n := float64(totalRows * cols)
 	// Data term.
 	var loss float64
 	for i := range pred.Data {
@@ -183,8 +216,8 @@ func (p PhysicsMSE) Forward(pred, target, grad *tensor.Tensor) float64 {
 				m += v
 			}
 			m /= float64(cols)
-			loss += p.LambdaMean * m * m / float64(rows)
-			gm := p.LambdaMean * 2 * m / (float64(rows) * float64(cols))
+			loss += p.LambdaMean * m * m / float64(totalRows)
+			gm := p.LambdaMean * 2 * m / (float64(totalRows) * float64(cols))
 			for j := range gr {
 				gr[j] += gm
 			}

@@ -54,13 +54,38 @@ func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
-// Backward propagates dL/d(output) to dL/d(input), accumulating
-// parameter gradients in every layer.
+// Backward propagates dL/d(output) to dL/d(input), writing this pass's
+// parameter gradients in every layer (see the Layer contract:
+// gradients are overwritten, not accumulated across passes).
 func (n *Network) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dy = n.Layers[i].Backward(dy)
 	}
 	return dy
+}
+
+// inputGradFree is implemented by layers that can compute their
+// parameter gradients without forming dL/d(input). The first layer of
+// a network has no upstream consumer for its input gradient, so the
+// trainer skips it — for the paper's MLP that avoids one extra stream
+// of the widest weight matrix (the 4096-column input projection) per
+// backward pass.
+type inputGradFree interface {
+	backwardParamsOnly(dy *tensor.Tensor)
+}
+
+// backwardTrain is Backward minus the first layer's input gradient,
+// which no trainer consumes. Parameter gradients are bit-identical to
+// Backward's.
+func (n *Network) backwardTrain(dy *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= 1; i-- {
+		dy = n.Layers[i].Backward(dy)
+	}
+	if pg, ok := n.Layers[0].(inputGradFree); ok {
+		pg.backwardParamsOnly(dy)
+		return
+	}
+	n.Layers[0].Backward(dy)
 }
 
 // Params returns all trainable parameters.

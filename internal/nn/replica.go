@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"fmt"
+
+	"dlpic/internal/tensor"
+)
+
+// A replica is a worker-private view of a network for the data-parallel
+// training and evaluation engines: it shares the master's weight
+// tensors (read-only while workers run; the optimizer writes them only
+// between batches, after the worker barrier) but owns its activation
+// scratch and its gradient tensors, so concurrent forward/backward
+// passes on disjoint row shards never race.
+//
+// Replica gradient tensors start unbound (nil backing): the training
+// engine rebinds them onto a pooled per-shard buffer before every
+// backward pass (bindGrads), which is what lets one replica produce
+// independent gradient shards for the chunk-ordered reduction without
+// copying. Evaluation replicas never touch gradients at all.
+type replica struct {
+	net    *Network
+	params []*Param
+
+	xb, yb, grad *tensor.Tensor // shard scratch (grow-only)
+}
+
+// newReplica builds a replica of net, or an error for layer types the
+// engine cannot replicate (the sharded paths then fall back to the
+// single-threaded reference implementation).
+func newReplica(net *Network) (*replica, error) {
+	layers := make([]Layer, len(net.Layers))
+	for i, l := range net.Layers {
+		rl, err := replicaLayer(l)
+		if err != nil {
+			return nil, err
+		}
+		layers[i] = rl
+	}
+	rnet := &Network{Layers: layers, InDim: net.InDim}
+	return &replica{net: rnet, params: rnet.Params()}, nil
+}
+
+// replicaLayer mirrors one layer: weights shared, gradients unbound,
+// scratch fresh. Keep the cases in sync with the layer types in
+// layer.go / conv.go (specOf in serialize.go lists the same set).
+func replicaLayer(l Layer) (Layer, error) {
+	switch v := l.(type) {
+	case *Dense:
+		return &Dense{InDim: v.InDim, OutDim_: v.OutDim_,
+			W: v.W, B: v.B, dW: unboundLike(v.dW), dB: unboundLike(v.dB)}, nil
+	case *ReLU:
+		return NewReLU(), nil
+	case *Conv2D:
+		return &Conv2D{InC: v.InC, H: v.H, W: v.W, OutC: v.OutC, K: v.K,
+			Wt: v.Wt, B: v.B, dW: unboundLike(v.dW), dB: unboundLike(v.dB)}, nil
+	case *MaxPool2D:
+		return NewMaxPool2D(v.C, v.H, v.W), nil
+	case *Residual:
+		d1, err := replicaLayer(v.d1)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := replicaLayer(v.d2)
+		if err != nil {
+			return nil, err
+		}
+		return &Residual{dim: v.dim, d1: d1.(*Dense), d2: d2.(*Dense), act: NewReLU()}, nil
+	default:
+		return nil, fmt.Errorf("nn: cannot replicate layer %T", l)
+	}
+}
+
+// unboundLike returns a gradient tensor with t's shape and no backing
+// storage; bindGrads attaches one before use. Touching an unbound
+// gradient panics (length 0), which guards against a missed bind.
+func unboundLike(t *tensor.Tensor) *tensor.Tensor {
+	return &tensor.Tensor{Shape: append([]int(nil), t.Shape...)}
+}
+
+// bindGrads points each parameter's gradient tensor at consecutive
+// slices of buf, whose layout is the concatenation of the parameter
+// tensors in Params() order (sizes as given). The caller owns zeroing.
+func bindGrads(params []*Param, sizes []int, buf []float64) {
+	off := 0
+	for i, p := range params {
+		p.G.Data = buf[off : off+sizes[i]]
+		off += sizes[i]
+	}
+}
+
+// makeReplicas builds n replicas of net.
+func makeReplicas(net *Network, n int) ([]*replica, error) {
+	reps := make([]*replica, n)
+	for i := range reps {
+		r, err := newReplica(net)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = r
+	}
+	return reps, nil
+}

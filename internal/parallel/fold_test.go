@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkBoundsCoversRange(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {64, 8}, {7, 7}, {100, 1}} {
+		prev := 0
+		for c := 0; c < tc.k; c++ {
+			s, e := ChunkBounds(tc.n, tc.k, c)
+			if s != prev {
+				t.Fatalf("n=%d k=%d chunk %d starts at %d, want %d", tc.n, tc.k, c, s, prev)
+			}
+			if e < s {
+				t.Fatalf("n=%d k=%d chunk %d inverted [%d,%d)", tc.n, tc.k, c, s, e)
+			}
+			prev = e
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d k=%d chunks end at %d", tc.n, tc.k, prev)
+		}
+	}
+}
+
+func TestForPoolWorkersRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		const n = 100
+		var counts [n]atomic.Int32
+		ForPoolWorkers(n, workers, func(w, i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForPoolWorkersWorkerIDsInRange(t *testing.T) {
+	const n, workers = 64, 4
+	var bad atomic.Int32
+	ForPoolWorkers(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw out-of-range worker ids", bad.Load())
+	}
+}
+
+// The ordered fold must produce the exact left-fold chain regardless of
+// delivery order; compare against the serial in-order fold.
+func TestOrderedFoldMatchesSerialChain(t *testing.T) {
+	const k, width = 9, 37
+	r := rand.New(rand.NewSource(1))
+	parts := make([][]float64, k)
+	for c := range parts {
+		parts[c] = make([]float64, width)
+		for i := range parts[c] {
+			parts[c][i] = r.NormFloat64()
+		}
+	}
+	want := make([]float64, width)
+	for c := 0; c < k; c++ {
+		for i, v := range parts[c] {
+			want[i] += v
+		}
+	}
+	for _, order := range [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 7, 6, 5, 4, 3, 2, 1, 0},
+		{4, 0, 8, 2, 6, 1, 5, 3, 7},
+	} {
+		var f OrderedFold
+		out := make([]float64, width)
+		out[0] = 99 // prior contents must not survive the round
+		f.Begin(out, k)
+		for _, c := range order {
+			buf := f.Buffer(c)
+			copy(buf, parts[c])
+			f.Deliver(c, buf)
+		}
+		if f.Folded() != k {
+			t.Fatalf("order %v: folded %d of %d", order, f.Folded(), k)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("order %v: element %d = %v, want %v", order, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOrderedFoldChunkZeroInPlace(t *testing.T) {
+	var f OrderedFold
+	out := make([]float64, 4)
+	f.Begin(out, 1)
+	buf := f.Buffer(0)
+	if &buf[0] != &out[0] {
+		t.Fatal("chunk 0's Buffer should return the destination")
+	}
+	buf[2] = 5
+	f.Deliver(0, buf)
+	if out[2] != 5 || f.Folded() != 1 {
+		t.Fatalf("in-place fold broken: %v folded=%d", out, f.Folded())
+	}
+}
+
+func TestOrderedFoldReusesBuffersAcrossRounds(t *testing.T) {
+	var f OrderedFold
+	for round := 0; round < 3; round++ {
+		out := make([]float64, 8)
+		f.Begin(out, 3)
+		for c := 0; c < 3; c++ {
+			buf := f.Buffer(c)
+			// Buffers arrive with arbitrary contents; producers must
+			// overwrite, not accumulate.
+			for i := range buf {
+				buf[i] = float64(c + 1)
+			}
+			f.Deliver(c, buf)
+		}
+		for i := range out {
+			if out[i] != 6 {
+				t.Fatalf("round %d: out[%d] = %v, want 6", round, i, out[i])
+			}
+		}
+	}
+}
+
+// ScatterReduceBlocked must be bit-identical to ScatterReduce at every
+// GOMAXPROCS: the blocked reduction only changes element ownership.
+func TestScatterReduceBlockedMatchesScatterReduce(t *testing.T) {
+	const n, width = 10_000, 4096
+	vals := make([]float64, n)
+	r := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = r.NormFloat64()
+	}
+	body := func(acc []float64, start, end int) {
+		for p := start; p < end; p++ {
+			acc[p%width] += vals[p]
+			acc[(p*7)%width] += 0.5 * vals[p]
+		}
+	}
+	want := make([]float64, width)
+	ScatterReduce(n, want, body)
+	for _, procs := range []int{1, 2, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		got := make([]float64, width)
+		ScatterReduceBlocked(n, got, body)
+		runtime.GOMAXPROCS(old)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("GOMAXPROCS=%d: element %d = %v, want %v", procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScatterReduceBlockedSmall(t *testing.T) {
+	// Single-chunk and empty paths.
+	out := []float64{3, 3}
+	ScatterReduceBlocked(0, out, func(acc []float64, s, e int) { t.Fatal("body called for n=0") })
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("n=0 should zero out, got %v", out)
+	}
+	ScatterReduceBlocked(5, out, func(acc []float64, s, e int) {
+		for p := s; p < e; p++ {
+			acc[p%2]++
+		}
+	})
+	if out[0] != 3 || out[1] != 2 {
+		t.Fatalf("single-chunk blocked reduce = %v", out)
+	}
+}

@@ -43,3 +43,37 @@ func TestSimulation2DBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
 		}
 	}
 }
+
+// The blocked deposit reduction must produce the same density grid at
+// every GOMAXPROCS: the chunk decomposition depends only on the
+// particle count and each grid element sums its per-chunk partials in
+// chunk order, regardless of which worker owns the element's block.
+func TestDeposit2DBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Default()
+	cfg.ParticlesPerCell = 12 // > 1 chunk of particles
+	cfg.Seed = 31
+	ref := func() []float64 {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.deposit()
+		return append([]float64(nil), sim.Rho...)
+	}()
+	for _, procs := range []int{2, 4, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.deposit()
+		runtime.GOMAXPROCS(old)
+		for i := range ref {
+			if sim.Rho[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d: rho[%d] = %v, serial %v", procs, i, sim.Rho[i], ref[i])
+			}
+		}
+	}
+}

@@ -191,11 +191,14 @@ func (s *Simulation) Time() float64 { return s.time }
 func (s *Simulation) StepCount() int { return s.stepN }
 
 // deposit accumulates the bilinear (CIC) charge density with the
-// deterministic scatter-reduce (bit-identical at every GOMAXPROCS).
+// blocked deterministic scatter-reduce: the per-chunk partial grids are
+// summed into Rho in chunk order per element, with disjoint grid blocks
+// owned by different workers, so the 2D grid's k*NX*NY reduction
+// parallelizes too while staying bit-identical at every GOMAXPROCS.
 func (s *Simulation) deposit() {
 	nx, ny := s.Cfg.NX, s.Cfg.NY
 	invDx, invDy := 1/s.dx, 1/s.dy
-	parallel.ScatterReduce(len(s.X), s.Rho, func(buf []float64, start, end int) {
+	parallel.ScatterReduceBlocked(len(s.X), s.Rho, func(buf []float64, start, end int) {
 		for p := start; p < end; p++ {
 			hx := s.X[p] * invDx
 			hy := s.Y[p] * invDy

@@ -188,22 +188,47 @@ func AddRowVector(t *Tensor, v []float64) {
 }
 
 // SumRows writes the column sums of the 2D tensor into out (length cols):
-// out[j] = sum_i t[i][j]. Used for bias gradients.
+// out[j] = sum_i t[i][j]. Used for bias gradients. The column range is
+// split across workers; every element keeps the full i-ascending
+// accumulation chain, so the result is bit-identical to the serial loop
+// at any GOMAXPROCS.
 func SumRows(out []float64, t *Tensor) {
 	t.want2D()
 	rows, cols := t.Shape[0], t.Shape[1]
 	if len(out) != cols {
 		panic(fmt.Sprintf("tensor: SumRows out length %d, cols %d", len(out), cols))
 	}
-	for j := range out {
-		out[j] = 0
-	}
-	for i := 0; i < rows; i++ {
-		row := t.Data[i*cols : (i+1)*cols]
-		for j, v := range row {
-			out[j] += v
+	parallel.ForThreshold(cols, 512, func(js, je int) {
+		for j := js; j < je; j++ {
+			out[j] = 0
 		}
+		for i := 0; i < rows; i++ {
+			row := t.Data[i*cols : (i+1)*cols]
+			for j := js; j < je; j++ {
+				out[j] += row[j]
+			}
+		}
+	})
+}
+
+// GatherRows copies src row idx[i] into dst row i for every i, in
+// parallel over destination rows (disjoint writes, so the copy is
+// trivially deterministic). It is the batched gather the training loop
+// uses to materialize a shuffled minibatch from the corpus.
+func GatherRows(dst, src *Tensor, idx []int) {
+	dst.want2D()
+	src.want2D()
+	if dst.Shape[1] != src.Shape[1] {
+		panic(fmt.Sprintf("tensor: GatherRows width mismatch dst=%d src=%d", dst.Shape[1], src.Shape[1]))
 	}
+	if dst.Shape[0] != len(idx) {
+		panic(fmt.Sprintf("tensor: GatherRows dst rows %d, idx length %d", dst.Shape[0], len(idx)))
+	}
+	parallel.ForThreshold(len(idx), 64, func(start, end int) {
+		for i := start; i < end; i++ {
+			copy(dst.Row(i), src.Row(idx[i]))
+		}
+	})
 }
 
 // MaxAbs returns the largest absolute value in the tensor (0 for empty).
@@ -244,6 +269,20 @@ func checkSameLen(op string, ts ...*Tensor) {
 // shapes; dst may not alias a or b. The multiply is parallelized over
 // output rows.
 func MatMul(dst, a, b *Tensor, transA, transB bool) {
+	matMul(dst, a, b, transA, transB, false)
+}
+
+// MatMulAcc computes dst += op(a) * op(b): the same kernels as MatMul
+// without the initial zeroing of dst, so parameter-gradient
+// accumulation (dW += x^T dy) needs no scratch product tensor. Each
+// output element continues its k-ascending accumulation chain from
+// dst's current value; accumulating into a zeroed dst is therefore
+// bit-identical to MatMul.
+func MatMulAcc(dst, a, b *Tensor, transA, transB bool) {
+	matMul(dst, a, b, transA, transB, true)
+}
+
+func matMul(dst, a, b *Tensor, transA, transB, acc bool) {
 	dst.want2D()
 	a.want2D()
 	b.want2D()
@@ -266,13 +305,13 @@ func MatMul(dst, a, b *Tensor, transA, transB bool) {
 	}
 	switch {
 	case !transA && !transB:
-		matMulNN(dst, a, b)
+		matMulNN(dst, a, b, acc)
 	case !transA && transB:
-		matMulNT(dst, a, b)
+		matMulNT(dst, a, b, acc)
 	case transA && !transB:
-		matMulTN(dst, a, b)
+		matMulTN(dst, a, b, acc)
 	default:
-		matMulTT(dst, a, b)
+		matMulTT(dst, a, b, acc)
 	}
 }
 
@@ -294,7 +333,7 @@ const gemmColThreshold = 256
 // are bit-identical per-row to the batch-1 call. Parallelism is over
 // output columns: workers own disjoint column ranges, no reduction
 // order exists.
-func matMulNN(dst, a, b *Tensor) {
+func matMulNN(dst, a, b *Tensor, acc bool) {
 	m, kk := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	if n < gemmColThreshold && m >= gemmParThreshold {
@@ -305,8 +344,10 @@ func matMulNN(dst, a, b *Tensor) {
 		parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
 			for i := start; i < end; i++ {
 				di := dst.Data[i*n : (i+1)*n]
-				for j := range di {
-					di[j] = 0
+				if !acc {
+					for j := range di {
+						di[j] = 0
+					}
 				}
 				ai := a.Data[i*kk : (i+1)*kk]
 				for k := 0; k < kk; k++ {
@@ -324,10 +365,12 @@ func matMulNN(dst, a, b *Tensor) {
 		return
 	}
 	parallel.ForThreshold(n, gemmColThreshold, func(js, je int) {
-		for i := 0; i < m; i++ {
-			di := dst.Data[i*n : (i+1)*n]
-			for j := js; j < je; j++ {
-				di[j] = 0
+		if !acc {
+			for i := 0; i < m; i++ {
+				di := dst.Data[i*n : (i+1)*n]
+				for j := js; j < je; j++ {
+					di[j] = 0
+				}
 			}
 		}
 		for k := 0; k < kk; k++ {
@@ -347,7 +390,7 @@ func matMulNN(dst, a, b *Tensor) {
 }
 
 // matMulNT: dst[i][j] = dot(a[i,:], b[j,:]).
-func matMulNT(dst, a, b *Tensor) {
+func matMulNT(dst, a, b *Tensor, acc bool) {
 	m, kk := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
 	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
@@ -360,7 +403,11 @@ func matMulNT(dst, a, b *Tensor) {
 				for k, av := range ai {
 					s += av * bj[k]
 				}
-				di[j] = s
+				if acc {
+					di[j] += s
+				} else {
+					di[j] = s
+				}
 			}
 		}
 	})
@@ -368,14 +415,16 @@ func matMulNT(dst, a, b *Tensor) {
 
 // matMulTN: dst[i][j] = sum_k a[k][i] b[k][j]; parallel over output rows
 // i (columns of a), accumulating k-major for contiguous b access.
-func matMulTN(dst, a, b *Tensor) {
+func matMulTN(dst, a, b *Tensor, acc bool) {
 	kk, m := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
 		for i := start; i < end; i++ {
 			di := dst.Data[i*n : (i+1)*n]
-			for j := range di {
-				di[j] = 0
+			if !acc {
+				for j := range di {
+					di[j] = 0
+				}
 			}
 			for k := 0; k < kk; k++ {
 				aki := a.Data[k*m+i]
@@ -392,7 +441,7 @@ func matMulTN(dst, a, b *Tensor) {
 }
 
 // matMulTT: dst[i][j] = sum_k a[k][i] b[j][k] (rare; used only in tests).
-func matMulTT(dst, a, b *Tensor) {
+func matMulTT(dst, a, b *Tensor, acc bool) {
 	kk, m := a.Shape[0], a.Shape[1]
 	n := b.Shape[0]
 	parallel.ForThreshold(m, gemmParThreshold, func(start, end int) {
@@ -404,7 +453,11 @@ func matMulTT(dst, a, b *Tensor) {
 				for k := 0; k < kk; k++ {
 					s += a.Data[k*m+i] * bj[k]
 				}
-				di[j] = s
+				if acc {
+					di[j] += s
+				} else {
+					di[j] = s
+				}
 			}
 		}
 	})

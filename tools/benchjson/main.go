@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so benchmark numbers can be
+// committed per PR (BENCH_PR3.json, ...) and diffed by later ones.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'Training|Batched|Sweep' -cpu 1,4,8 . | \
+//	    go run ./tools/benchjson -out BENCH_PR3.json
+//
+// Benchmark names are recorded verbatim, including the trailing -P
+// GOMAXPROCS suffix Go appends for P > 1: a sub-benchmark whose own
+// name ends in "-<number>" (e.g. percall-16 at -cpu 1) is textually
+// indistinguishable from a GOMAXPROCS suffix, so any splitting would
+// corrupt identities — the raw string is the only unambiguous key to
+// diff against. ns/op, B/op and allocs/op become numbers. Unrecognized
+// lines are ignored, so the tool is safe to feed the whole `go test`
+// stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	// Name is the raw benchmark name from the output line (GOMAXPROCS
+	// suffix included, see the package comment).
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type benchFile struct {
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+	file := benchFile{Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo so the run stays visible
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			file.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			file.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			file.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			file.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			res.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		file.Benchmarks = append(file.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark run reported FAIL")
+		os.Exit(1)
+	}
+}
