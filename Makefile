@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-train bench bench-json docs ci
+.PHONY: all build test vet race race-train bench bench-json smoke-campaign docs ci
 
 all: ci
 
@@ -15,12 +15,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the packages with concurrent kernels and the sweep engine
-# under the race detector.
+# race runs the packages with concurrent kernels, the sweep engine and
+# the campaign engine under the race detector.
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/interp/ ./internal/mover/ \
 		./internal/pic/ ./internal/pic2d/ ./internal/sweep/ ./internal/dataset/ \
-		./internal/tensor/ ./internal/vlasov/ ./internal/batch/
+		./internal/tensor/ ./internal/vlasov/ ./internal/batch/ \
+		./internal/campaign/ ./internal/phasespace/
 
 # race-train runs the training-engine determinism property tests under
 # the race detector (the full nn suite is too slow under -race; these
@@ -34,11 +35,29 @@ race-train:
 bench:
 	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched|Training' -cpu 1,4,8 -benchtime 2s .
 
-# bench-json records the training / inference / sweep benchmark numbers
-# as JSON (BENCH_PR3.json) so future PRs can diff performance.
+# bench-json records the training / inference / sweep / campaign
+# benchmark numbers as JSON (BENCH_PR4.json) and diffs them against the
+# previous committed file so PRs track the performance trajectory.
 bench-json:
 	$(GO) test -run xxx -bench 'Training|Batched|Sweep' -cpu 1,4,8 -benchtime 1s . \
-		| $(GO) run ./tools/benchjson -out BENCH_PR3.json
+		| $(GO) run ./tools/benchjson -out BENCH_PR4.json -diff BENCH_PR3.json
+
+# smoke-campaign is the CI interrupt/resume check: run a tiny
+# multi-method campaign with a journal, truncate the journal to its
+# first two cells (exactly what a kill leaves behind), resume, and
+# require the bit-exact campaign digest to match the uninterrupted run.
+SMOKE_FLAGS = -scan -methods traditional,oracle -scan-v0s 0.2 -scan-vths 0,0.01 \
+	-scan-ppc 40 -steps 40 -workers 4
+smoke-campaign:
+	$(GO) build -o /tmp/dlpic-smoke ./cmd/experiments
+	rm -f /tmp/dlpic-smoke-full.jsonl /tmp/dlpic-smoke-part.jsonl
+	/tmp/dlpic-smoke $(SMOKE_FLAGS) -journal /tmp/dlpic-smoke-full.jsonl > /tmp/dlpic-smoke-full.out
+	head -n 2 /tmp/dlpic-smoke-full.jsonl > /tmp/dlpic-smoke-part.jsonl
+	/tmp/dlpic-smoke $(SMOKE_FLAGS) -resume /tmp/dlpic-smoke-part.jsonl > /tmp/dlpic-smoke-resumed.out
+	grep '^campaign digest:' /tmp/dlpic-smoke-full.out > /tmp/dlpic-smoke-digest-full
+	grep '^campaign digest:' /tmp/dlpic-smoke-resumed.out > /tmp/dlpic-smoke-digest-resumed
+	cat /tmp/dlpic-smoke-digest-full
+	diff /tmp/dlpic-smoke-digest-full /tmp/dlpic-smoke-digest-resumed
 
 # docs fails when an exported identifier lacks a doc comment, keeping
 # `go doc` usable as the API reference.

@@ -557,11 +557,11 @@ func benchDLSweep(b *testing.B, batched bool) {
 			b.Fatal(err)
 		}
 		defer bs.Close()
-		opts.Batcher = bs
+		opts.Methods = []sweep.MethodSpec{{Name: "mlp-batched", Batcher: bs}}
 	} else {
-		opts.Method = func(sweep.Scenario) (pic.FieldMethod, error) {
+		opts.Methods = []sweep.MethodSpec{{Name: "mlp", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
 			return p.MLP.Clone()
-		}
+		}}}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -594,6 +594,44 @@ func BenchmarkSweep_TwoStreamGrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		scs := sweep.Grid(base, []float64{0.15, 0.2}, []float64{0, 0.025}, 1, 25, 1)
 		results := sweep.Run(scs, sweep.Options{SkipFit: true})
+		if err := sweep.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_MultiMethodCampaign times a journaled 2-scenario x
+// 2-method campaign (traditional + oracle) through the resumable
+// campaign engine, including the per-cell journal appends. Workers =
+// GOMAXPROCS, so -cpu scales the pool.
+func BenchmarkSweep_MultiMethodCampaign(b *testing.B) {
+	base := dlpic.DefaultConfig()
+	base.Cells = 32
+	base.ParticlesPerCell = 125
+	dir := b.TempDir()
+	spec := dlpic.CampaignSpec{
+		Scenarios: sweep.Grid(base, []float64{0.15, 0.2}, []float64{0.01}, 1, 25, 1),
+		Opts: sweep.Options{
+			SkipFit: true,
+			Methods: []dlpic.SweepMethodSpec{
+				{Name: "traditional"},
+				{Name: "oracle", Factory: func(sc sweep.Scenario) (pic.FieldMethod, error) {
+					spec := phasespace.DefaultSpec(sc.Cfg.Length)
+					spec.NX = sc.Cfg.Cells // oracle recovery needs NX == Cells
+					return core.NewOracleSolver(sc.Cfg, spec)
+				}},
+			},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh journal per iteration: an existing one would skip
+		// every cell and measure nothing but the restore path.
+		results, err := dlpic.RunCampaign(fmt.Sprintf("%s/j%d.jsonl", dir, i), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := sweep.FirstError(results); err != nil {
 			b.Fatal(err)
 		}

@@ -13,9 +13,18 @@
 // With no experiment flags, everything runs. The default scale trains in
 // minutes on one core; -paper selects the full paper-sized configuration
 // (40,000 samples, 3x1024 MLP, 1000 particles/cell).
+//
+// Scan campaigns: -scan runs the scenario grid as a (resumable)
+// campaign. -methods picks the field methods compared side by side
+// (traditional, mlp, cnn, oracle — one comparison row per
+// scenario x method); -journal FILE appends every completed cell to a
+// checkpoint journal; -resume FILE continues an interrupted campaign,
+// re-running only the missing cells and reproducing the uninterrupted
+// results bit-identically (the printed campaign digest matches).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -25,6 +34,7 @@ import (
 
 	"dlpic/internal/ascii"
 	"dlpic/internal/batch"
+	"dlpic/internal/campaign"
 	"dlpic/internal/cliutil"
 	"dlpic/internal/diag"
 	"dlpic/internal/experiments"
@@ -46,23 +56,45 @@ func main() {
 		oracle  = flag.Bool("oracle", false, "also run the learning-free oracle ablation")
 		load    = flag.String("load-models", "", "load solver bundles from this directory instead of training")
 		steps   = flag.Int("steps", 200, "steps per validation run (t = steps*0.2)")
-		scan    = flag.Bool("scan", false, "run a concurrent growth-rate scan over v0 x vth (traditional PIC, or DL with -batched)")
+		scan    = flag.Bool("scan", false, "run a concurrent growth-rate campaign over v0 x vth (see -methods, -journal, -resume)")
 		scanV0s = flag.String("scan-v0s", "0.1,0.15,0.2,0.25,0.3", "scan beam speeds")
 		scanVth = flag.String("scan-vths", "0.005,0.025", "scan thermal speeds")
 		scanRep = flag.Int("scan-repeats", 1, "scan repeats per combination")
-		scanPPC = flag.Int("scan-ppc", 250, "scan particles per cell (ignored with -batched: the trained model fixes it)")
+		scanPPC = flag.Int("scan-ppc", 250, "scan particles per cell (ignored when a DL method is scanned: the trained model fixes it)")
 		workers = flag.Int("workers", 0, "concurrent scenario runs (0 = GOMAXPROCS); results are bit-identical for any value")
 		trainW  = flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); trained weights are bit-identical for any value")
-		batched = flag.Bool("batched", false, "run the scan with the DL field method, per-call vs batched inference (trains a model unless -load-models)")
+		methods = flag.String("methods", "", "comma-separated field methods to compare per scenario (traditional, mlp, cnn, oracle; default traditional)")
+		journal = flag.String("journal", "", "append each completed scan cell to this checkpoint journal (JSON lines)")
+		resume  = flag.String("resume", "", "resume an interrupted scan campaign from this journal, skipping completed cells")
+		batched = flag.Bool("batched", false, "route DL field solves through the shared batched-inference server; without -methods, runs the per-call vs batched A/B verification scan")
 		batchN  = flag.Int("batch", 0, "batched-inference flush cap (0 = default)")
 	)
 	flag.Parse()
+	// The campaign flags only act under -scan; reject them otherwise
+	// instead of silently running the (hours-long) full suite without
+	// journaling or method comparison.
+	if !*scan && (*methods != "" || *journal != "" || *resume != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -methods/-journal/-resume need -scan")
+		os.Exit(1)
+	}
 	if *scan {
 		var err error
-		if *batched {
-			err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load, *trainW)
+		if *batched && *methods == "" {
+			// The A/B verification scan has no campaign journal; reject
+			// checkpoint flags instead of silently dropping them.
+			if *journal != "" || *resume != "" {
+				err = errors.New("-journal/-resume need a campaign scan: pass -methods (e.g. -methods mlp -batched)")
+			} else {
+				err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load, *trainW)
+			}
 		} else {
-			err = runScan(*scanV0s, *scanVth, *scanRep, *scanPPC, *steps, *seed, *workers)
+			err = runMethodScan(scanArgs{
+				v0s: *scanV0s, vths: *scanVth, repeats: *scanRep, ppc: *scanPPC,
+				steps: *steps, seed: *seed, workers: *workers,
+				methods: *methods, batched: *batched, batchN: *batchN,
+				journal: *journal, resume: *resume,
+				paper: *paper, load: *load, trainWorkers: *trainW,
+			})
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -80,53 +112,140 @@ func main() {
 	}
 }
 
-// runScan fans a grid of two-stream configurations across the sweep
-// pool and tabulates fitted growth rates against linear theory — the
-// parameter-scan workload the concurrent engine exists for.
-func runScan(v0sRaw, vthsRaw string, repeats, ppc, steps int, seed uint64, workers int) error {
-	v0s, err := cliutil.ParseFloats(v0sRaw)
+// scanArgs bundles the flags of the campaign scan.
+type scanArgs struct {
+	v0s, vths       string
+	repeats, ppc    int
+	steps           int
+	seed            uint64
+	workers         int
+	methods         string
+	batched         bool
+	batchN          int
+	journal, resume string
+	paper           bool
+	load            string
+	trainWorkers    int
+}
+
+// runMethodScan runs the v0 x vth grid as a resumable multi-method
+// campaign: every scenario executes once per requested field method,
+// the comparison table has one row per scenario x method cell, and a
+// journal (if requested) checkpoints each completed cell so -resume
+// can pick up an interrupted campaign bit-identically.
+func runMethodScan(a scanArgs) error {
+	v0s, err := cliutil.ParseFloats(a.v0s)
 	if err != nil {
 		return err
 	}
-	vths, err := cliutil.ParseFloats(vthsRaw)
+	vths, err := cliutil.ParseFloats(a.vths)
 	if err != nil {
 		return err
 	}
 	if len(v0s) == 0 || len(vths) == 0 {
-		return fmt.Errorf("empty scan axes (-scan-v0s %q, -scan-vths %q)", v0sRaw, vthsRaw)
+		return fmt.Errorf("empty scan axes (-scan-v0s %q, -scan-vths %q)", a.v0s, a.vths)
 	}
+	if a.journal != "" && a.resume != "" {
+		return errors.New("-journal and -resume are mutually exclusive (resume appends to the journal it reads)")
+	}
+	raw := a.methods
+	if raw == "" {
+		raw = experiments.MethodTraditional
+	}
+	names, needMLP, needCNN, err := experiments.ResolveMethodNames(raw)
+	if err != nil {
+		return err
+	}
+
+	// Model-free campaigns (traditional / oracle) skip corpus generation
+	// and training entirely. DL methods get a lazy pipeline provider:
+	// the trained model fixes the base configuration (a pure function
+	// of the scale, known up front), but corpus generation + training
+	// only run when a DL cell actually executes — a resume whose DL
+	// cells are all journaled costs nothing.
 	base := pic.Default()
-	base.ParticlesPerCell = ppc
-	scenarios := sweep.Grid(base, v0s, vths, repeats, steps, seed)
-	fmt.Printf("== Growth-rate scan: %d scenarios (%d steps, %d particles each) ==\n",
-		len(scenarios), steps, base.NumParticles())
+	base.ParticlesPerCell = a.ppc
+	var provider experiments.PipelineProvider
+	if needMLP || needCNN {
+		pipeOpts := experiments.Options{
+			Tiny: !a.paper, Paper: a.paper, Seed: a.seed, Log: os.Stderr,
+			SkipCNN: !needCNN, LoadModels: a.load, TrainWorkers: a.trainWorkers,
+		}
+		base = pipeOpts.BaseConfig()
+		provider = experiments.NewPipelineProvider(pipeOpts)
+	}
+	specs, cleanup, err := experiments.Methods(provider, names, a.batched, a.batchN)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	scenarios := sweep.Grid(base, v0s, vths, a.repeats, a.steps, a.seed)
+	cells := len(scenarios) * len(specs)
+	fmt.Printf("== Growth-rate campaign: %d scenarios x %d methods = %d cells (%d steps, %d particles each) ==\n",
+		len(scenarios), len(specs), cells, a.steps, base.NumParticles())
+
+	// Restored cells show up through the progress offset: a resumed
+	// campaign's first progress line already counts them as done.
+	path := a.journal
+	if a.resume != "" {
+		path = a.resume
+		fmt.Printf("resuming from %s\n", path)
+	} else if path != "" {
+		fmt.Printf("journaling to %s\n", path)
+	}
+
+	spec := campaign.Spec{
+		Scenarios: scenarios,
+		Opts: sweep.Options{
+			Workers:  a.workers,
+			Methods:  specs,
+			Progress: scanProgress("scan"),
+		},
+	}
 	start := time.Now()
-	results := sweep.Run(scenarios, sweep.Options{
-		Workers:  workers,
-		Progress: scanProgress("scan"),
-	})
+	var results []sweep.Result
+	if a.resume != "" {
+		results, err = campaign.Resume(path, spec)
+	} else {
+		results, err = campaign.Run(path, spec)
+	}
+	// A journal-append failure (disk full, unserializable metric) still
+	// returns the fully computed result set — print it before
+	// surfacing the error, so hours of compute are never discarded.
+	if results == nil {
+		return err
+	}
+	journalErr := err
 	elapsed := time.Since(start)
-	fmt.Println(scanTable(results))
-	// Per-scenario elapsed times overlap under the pool (and are
-	// inflated by time-slicing on few cores), so their sum over wall
-	// time measures achieved concurrency, not a serial-baseline speedup.
+	fmt.Println(methodScanTable(results))
+	// Per-cell elapsed times overlap under the pool (and are inflated
+	// by time-slicing on few cores), so their sum over wall time
+	// measures achieved concurrency, not a serial-baseline speedup.
 	var sum time.Duration
 	for i := range results {
 		sum += results[i].Elapsed
 	}
-	fmt.Printf("scan wall time %v; per-scenario run times sum to %v (%.1fx concurrency)\n\n",
+	fmt.Printf("campaign wall time %v; per-cell run times sum to %v (%.1fx concurrency)\n",
 		elapsed.Round(time.Millisecond), sum.Round(time.Millisecond),
 		float64(sum)/float64(elapsed))
+	// The digest covers everything but wall-clock timings: an
+	// interrupted+resumed campaign must print the same digest as an
+	// uninterrupted one (the CI smoke diffs exactly this line).
+	fmt.Printf("campaign digest: %s\n\n", campaign.Digest(results))
+	if journalErr != nil {
+		return journalErr
+	}
 	return sweep.FirstError(results)
 }
 
-// scanTable renders the per-scenario growth-rate table of a sweep.
-func scanTable(results []sweep.Result) string {
-	rows := [][]string{{"Scenario", "Theory gamma", "Fitted gamma", "R2", "Energy var", "Run time"}}
+// methodScanTable renders one comparison row per scenario x method cell.
+func methodScanTable(results []sweep.Result) string {
+	rows := [][]string{{"Scenario", "Method", "Theory gamma", "Fitted gamma", "R2", "Energy var", "Run time"}}
 	for i := range results {
 		r := &results[i]
 		if r.Err != nil {
-			rows = append(rows, []string{r.Scenario.Name, "-", "error: " + r.Err.Error(), "-", "-", "-"})
+			rows = append(rows, []string{r.Scenario.Name, r.Method, "-", "error: " + r.Err.Error(), "-", "-", "-"})
 			continue
 		}
 		fitted, r2 := "no growth window", "-"
@@ -136,6 +255,7 @@ func scanTable(results []sweep.Result) string {
 		}
 		rows = append(rows, []string{
 			r.Scenario.Name,
+			r.Method,
 			fmt.Sprintf("%.4f", r.TheoryGamma),
 			fitted, r2,
 			fmt.Sprintf("%.2f%%", 100*r.EnergyVariation),
@@ -189,9 +309,9 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 	startPC := time.Now()
 	perCall := sweep.Run(scenarios, sweep.Options{
 		Workers: workers,
-		Method: func(sweep.Scenario) (pic.FieldMethod, error) {
+		Methods: []sweep.MethodSpec{{Name: "mlp", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
 			return p.MLP.Clone()
-		},
+		}}},
 		Progress: scanProgress("per-call"),
 	})
 	perCallElapsed := time.Since(startPC)
@@ -207,7 +327,7 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 	startB := time.Now()
 	batchedRes := sweep.Run(scenarios, sweep.Options{
 		Workers:  workers,
-		Batcher:  bs,
+		Methods:  []sweep.MethodSpec{{Name: "mlp-batched", Batcher: bs}},
 		Progress: scanProgress("batched"),
 	})
 	batchedElapsed := time.Since(startB)
@@ -215,7 +335,7 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 		return err
 	}
 
-	fmt.Println(scanTable(batchedRes))
+	fmt.Println(methodScanTable(batchedRes))
 	identical := len(perCall) == len(batchedRes)
 	for i := range perCall {
 		if !identical || !sameSamples(perCall[i].Rec.Samples, batchedRes[i].Rec.Samples) {

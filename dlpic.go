@@ -44,13 +44,23 @@
 //
 //	bs, _ := dlpic.NewBatchedSolver(solver, 0) // 0 = default batch cap
 //	defer bs.Close()
-//	results := dlpic.RunSweep(scs, dlpic.SweepRunOpts{Batcher: bs})
+//	results := dlpic.RunSweep(scs, dlpic.SweepRunOpts{
+//	    Methods: []dlpic.SweepMethodSpec{{Name: "mlp-batched", Batcher: bs}},
+//	})
+//
+// Multi-method campaigns. SweepRunOpts.Methods is a named method
+// registry: every scenario runs once per entry (traditional, MLP, CNN,
+// oracle, ... side by side) and each result carries its method name.
+// RunCampaign additionally journals every completed scenario x method
+// cell to an append-only checkpoint file, and ResumeCampaign continues
+// an interrupted campaign from it, re-running only the missing cells —
+// the restored result set is bit-identical to an uninterrupted run.
 //
 // Every hot-path kernel reduces through the deterministic chunked
 // primitives of internal/parallel, and batched rows are bit-identical
-// to per-call inference, so simulations — and whole sweeps, batched or
-// not — are bit-identical at any GOMAXPROCS, sweep worker count and
-// batch size.
+// to per-call inference, so simulations — and whole sweeps and
+// campaigns, batched or not, interrupted or not — are bit-identical at
+// any GOMAXPROCS, sweep worker count and batch size.
 package dlpic
 
 import (
@@ -58,6 +68,7 @@ import (
 	"math"
 
 	"dlpic/internal/batch"
+	"dlpic/internal/campaign"
 	"dlpic/internal/core"
 	"dlpic/internal/dataset"
 	"dlpic/internal/diag"
@@ -143,6 +154,13 @@ func NewOracleDLPIC(cfg Config, spec PhaseSpec) (*Simulation, error) {
 		return nil, err
 	}
 	return pic.New(cfg, oracle)
+}
+
+// NewOracleSolver builds the learning-free oracle field method on its
+// own — e.g. as the Factory of a sweep method registry entry, where
+// the oracle runs side by side with the trained solvers.
+func NewOracleSolver(cfg Config, spec PhaseSpec) (*OracleSolver, error) {
+	return core.NewOracleSolver(cfg, spec)
 }
 
 // GenerateDataset runs the traditional-PIC sweep of §IV-1 and returns
@@ -318,16 +336,21 @@ type (
 	// SweepResult carries one scenario's recorder, growth fit and
 	// conservation metrics.
 	SweepResult = sweep.Result
-	// SweepRunOpts bounds the worker pool and selects the field method
-	// (per-call via Method, or shared batched inference via Batcher).
+	// SweepRunOpts bounds the worker pool and carries the method
+	// registry (SweepRunOpts.Methods) a sweep compares side by side.
 	SweepRunOpts = sweep.Options
+	// SweepMethodSpec is one named entry of a sweep's method registry:
+	// the traditional method (zero value), a per-scenario Factory, or a
+	// shared batched Batcher backend.
+	SweepMethodSpec = sweep.MethodSpec
 	// VlasovScenario is one named Vlasov-Poisson run of a sweep.
 	VlasovScenario = sweep.VlasovScenario
 	// VlasovSweepResult is the outcome of one Vlasov scenario.
 	VlasovSweepResult = sweep.VlasovResult
 	// BatchedSolver is a batched DL field-solve backend: one shared
 	// network serving every scenario of a sweep through the
-	// internal/batch inference server. Assign it to SweepRunOpts.Batcher.
+	// internal/batch inference server. Use it as the Batcher of a
+	// SweepMethodSpec registry entry.
 	BatchedSolver = batch.Solver
 	// BatchStats summarizes the traffic a batched solver has served
 	// (rows, flushes, largest batch).
@@ -357,9 +380,47 @@ func FirstSweepError(results []SweepResult) error {
 	return sweep.FirstError(results)
 }
 
+// ---------------------------------------------------------------------------
+// Resumable campaigns
+
+// Campaign types re-exported from internal/campaign.
+type (
+	// CampaignSpec defines a resumable campaign: a scenario grid
+	// crossed with the method registry of Opts.Methods.
+	CampaignSpec = campaign.Spec
+	// CampaignRecord is one journal line of a campaign checkpoint.
+	CampaignRecord = campaign.Record
+)
+
+// RunCampaign executes a multi-method sweep campaign, appending each
+// completed scenario x method cell to the journal at journalPath as it
+// finishes (empty path disables journaling). If the journal already
+// holds completed cells — from an interrupted earlier run — they are
+// restored instead of re-run, and the final result set is bit-identical
+// (wall-clock Elapsed aside) to an uninterrupted campaign at any worker
+// count.
+func RunCampaign(journalPath string, spec CampaignSpec) ([]SweepResult, error) {
+	return campaign.Run(journalPath, spec)
+}
+
+// ResumeCampaign continues an interrupted campaign from its journal; it
+// errors when journalPath has no journal. Failed cells are retried up
+// to spec.MaxAttempts times across resumes, then their recorded
+// failure becomes final.
+func ResumeCampaign(journalPath string, spec CampaignSpec) ([]SweepResult, error) {
+	return campaign.Resume(journalPath, spec)
+}
+
+// CampaignDigest hashes the physics payload of a result set (everything
+// except wall-clock timings); equal digests mean bit-identical results.
+func CampaignDigest(results []SweepResult) string {
+	return campaign.Digest(results)
+}
+
 // NewBatchedSolver starts a batched inference backend around a trained
-// solver's network: set the result as SweepRunOpts.Batcher and every
-// scenario's field solve is stacked into shared PredictBatch calls,
+// solver's network: set the result as the Batcher of a SweepMethodSpec
+// registry entry and that method's field solves are stacked into shared
+// PredictBatch calls,
 // amortizing the network cost across the pool. Results are bit-identical
 // to per-call NNSolver sweeps at any worker count and any maxBatch
 // (<= 0 selects the default cap). Close the solver when the sweeps

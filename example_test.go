@@ -2,6 +2,9 @@ package dlpic_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"dlpic"
 )
@@ -65,6 +68,60 @@ func ExampleNetwork_PredictBatch() {
 	// 3 rows of 16 outputs; bit-identical to Predict1: true
 }
 
+// ExampleRunCampaign runs a journaled multi-method campaign, simulates
+// a mid-run kill by truncating the journal to its first two cells, and
+// resumes: the restored-plus-rerun results are bit-identical to the
+// uninterrupted campaign (CampaignDigest covers everything but
+// wall-clock timings).
+func ExampleRunCampaign() {
+	base := dlpic.DefaultConfig()
+	base.Cells = 32
+	base.ParticlesPerCell = 30
+	dir, err := os.MkdirTemp("", "dlpic-campaign")
+	if err != nil {
+		fmt.Println("tempdir failed:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	spec := dlpic.CampaignSpec{
+		Scenarios: dlpic.SweepGrid(base, []float64{0.15, 0.2}, []float64{0.01}, 1, 10, 1),
+		Opts: dlpic.SweepRunOpts{
+			SkipFit: true,
+			Methods: []dlpic.SweepMethodSpec{
+				{Name: "traditional"},
+				{Name: "oracle", Factory: func(sc dlpic.SweepScenario) (dlpic.FieldMethod, error) {
+					spec := dlpic.DefaultPhaseSpec(sc.Cfg)
+					spec.NX = sc.Cfg.Cells // oracle recovery needs NX == Cells
+					return dlpic.NewOracleSolver(sc.Cfg, spec)
+				}},
+			},
+		},
+	}
+	journal := filepath.Join(dir, "campaign.jsonl")
+	full, err := dlpic.RunCampaign(journal, spec)
+	if err != nil {
+		fmt.Println("campaign failed:", err)
+		return
+	}
+	// Simulate a kill after two of the four cells.
+	buf, _ := os.ReadFile(journal)
+	lines := strings.SplitAfter(string(buf), "\n")
+	os.WriteFile(journal, []byte(strings.Join(lines[:2], "")), 0o644)
+	resumed, err := dlpic.ResumeCampaign(journal, spec)
+	if err != nil {
+		fmt.Println("resume failed:", err)
+		return
+	}
+	if err := dlpic.FirstSweepError(resumed); err != nil {
+		fmt.Println("cell failed:", err)
+		return
+	}
+	fmt.Printf("%d cells; resumed bit-identical to uninterrupted: %v\n",
+		len(resumed), dlpic.CampaignDigest(resumed) == dlpic.CampaignDigest(full))
+	// Output:
+	// 4 cells; resumed bit-identical to uninterrupted: true
+}
+
 // ExampleNewBatchedSolver routes a DL-method sweep through the batched
 // inference server and checks it against the per-call path, which
 // clones the solver for every scenario. The two are bit-identical; the
@@ -92,9 +149,9 @@ func ExampleNewBatchedSolver() {
 
 	perCall := dlpic.RunSweep(scs, dlpic.SweepRunOpts{
 		SkipFit: true,
-		Method: func(dlpic.SweepScenario) (dlpic.FieldMethod, error) {
+		Methods: []dlpic.SweepMethodSpec{{Name: "mlp", Factory: func(dlpic.SweepScenario) (dlpic.FieldMethod, error) {
 			return solver.Clone()
-		},
+		}}},
 	})
 
 	bs, err := dlpic.NewBatchedSolver(solver, 0)
@@ -103,7 +160,8 @@ func ExampleNewBatchedSolver() {
 		return
 	}
 	defer bs.Close()
-	batched := dlpic.RunSweep(scs, dlpic.SweepRunOpts{SkipFit: true, Batcher: bs})
+	batched := dlpic.RunSweep(scs, dlpic.SweepRunOpts{SkipFit: true,
+		Methods: []dlpic.SweepMethodSpec{{Name: "mlp-batched", Batcher: bs}}})
 
 	identical := dlpic.FirstSweepError(perCall) == nil && dlpic.FirstSweepError(batched) == nil
 	for i := range batched {

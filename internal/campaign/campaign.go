@@ -1,0 +1,264 @@
+// Package campaign runs resumable multi-method sweep campaigns: the
+// scenario x method cross product of internal/sweep, with every
+// completed cell appended to a journal file as it finishes. A campaign
+// killed mid-run resumes from its journal — completed cells are
+// restored bit-identically instead of re-run — so paper-scale
+// comparison scans (traditional vs MLP vs CNN vs oracle over a
+// parameter grid, the shape of the paper's Table I and Figs. 4-6)
+// survive interruption at the cost of one line of JSON per cell.
+//
+// Keying. Every cell owns a deterministic key: the method name, the
+// scenario name, the gob fingerprint of the scenario's full PIC
+// configuration (pic.ConfigKey, the checkpoint machinery's
+// serialization) and the step count. The key is a pure function of the
+// campaign spec, so separate processes agree on it; any change to a
+// cell's physics changes its key, and stale journal entries can never
+// be mistaken for completed work.
+//
+// Resume contract. Run(path, spec) with an existing journal skips every
+// key the journal records as complete and re-runs the rest. Because
+// each cell's result depends only on its scenario seed and method — the
+// sweep engine's determinism invariant — a resumed campaign's final
+// result set is bit-identical to an uninterrupted run's, at any worker
+// count, with one documented exception: Result.Elapsed is a wall-clock
+// measurement, restored verbatim for journaled cells and re-measured
+// for re-run ones. Digest hashes exactly the invariant part.
+//
+// Failure handling. A failed cell is journaled too, with Err as a
+// string and an attempt counter. Resuming re-runs failed cells until
+// Spec.MaxAttempts is reached; after that the recorded failure is
+// final and the cell is restored as failed, so a permanently broken
+// scenario cannot wedge a campaign in a retry loop.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"dlpic/internal/pic"
+	"dlpic/internal/sweep"
+)
+
+// DefaultMaxAttempts bounds how many times a failing cell is executed
+// across a campaign and its resumes when Spec.MaxAttempts is unset.
+const DefaultMaxAttempts = 3
+
+// Spec defines a campaign: a scenario grid crossed with the method
+// registry of Opts.Methods, executed on the sweep pool.
+type Spec struct {
+	// Scenarios is the scenario grid (see sweep.Grid).
+	Scenarios []sweep.Scenario
+	// Opts configures the sweep engine. Opts.Methods is the campaign's
+	// method registry (empty = traditional only); Opts.Progress, if
+	// set, is called with done counting restored cells too, so a
+	// resumed campaign starts partway.
+	Opts sweep.Options
+	// MaxAttempts bounds how many times a failing cell is re-run across
+	// resumes before its recorded failure becomes final (<= 0 selects
+	// DefaultMaxAttempts).
+	MaxAttempts int
+}
+
+// Key returns the deterministic journal key of one scenario x method
+// cell. Besides the scenario physics it folds in the sweep options
+// that change what a Result contains (SkipFit, KeepFinalState), so
+// resuming with different options re-runs cells instead of restoring
+// records that lack the requested fields. What the key cannot see is
+// the *content* behind a method name — a registry entry named "mlp"
+// backed by a differently trained model produces the same key — so
+// method names must identify their backend across resumes.
+func Key(method string, sc sweep.Scenario, opts sweep.Options) (string, error) {
+	fp, err := pic.ConfigKey(sc.Cfg)
+	if err != nil {
+		return "", err
+	}
+	// Name components are length-prefixed so a '|' inside a method or
+	// scenario name cannot make two different cells collide on one key.
+	return fmt.Sprintf("%d:%s|%d:%s|%s|steps=%d|fit=%t|final=%t",
+		len(method), method, len(sc.Name), sc.Name, fp, sc.Steps,
+		!opts.SkipFit, opts.KeepFinalState), nil
+}
+
+// Run executes the campaign, journaling each completed cell to path as
+// it finishes and skipping cells an existing journal at path already
+// records as complete (path == "" disables journaling and runs
+// everything). Results are scenario-major like sweep.Run's, and —
+// Elapsed aside — bit-identical between interrupted-and-resumed and
+// uninterrupted executions at any worker count. The error reports spec
+// or journal problems; per-cell failures stay in Result.Err.
+func Run(path string, spec Spec) ([]sweep.Result, error) {
+	methods, err := sweep.ResolveMethods(spec.Opts.Methods)
+	if err != nil {
+		return nil, err
+	}
+	maxAttempts := spec.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	m := len(methods)
+	n := len(spec.Scenarios) * m
+	keys := make([]string, n)
+	for c := range keys {
+		k, err := Key(methods[c%m].Name, spec.Scenarios[c/m], spec.Opts)
+		if err != nil {
+			return nil, err
+		}
+		keys[c] = k
+	}
+
+	var (
+		journal   *Journal
+		completed map[string]Record
+	)
+	if path != "" {
+		journal, completed, err = OpenJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	// Partition the cells: restore what the journal settles (successes,
+	// and failures out of attempts), run the rest.
+	results := make([]sweep.Result, n)
+	attempts := make([]int, n)
+	var pending []int
+	restored := 0
+	for c := range keys {
+		if rec, ok := completed[keys[c]]; ok {
+			if rec.Err == "" || rec.Attempts >= maxAttempts {
+				results[c] = rec.result(spec.Scenarios[c/m])
+				restored++
+				continue
+			}
+			attempts[c] = rec.Attempts
+		}
+		pending = append(pending, c)
+	}
+
+	// Report progress over the whole campaign: restored cells count as
+	// already done, so a resumed run starts partway.
+	progress := spec.Opts.Progress
+	if progress != nil {
+		inner := progress
+		progress = func(done, total int) { inner(restored+done, n) }
+	}
+
+	var (
+		appendMu  sync.Mutex
+		appendErr error
+	)
+	ran := sweep.Collect(len(pending), spec.Opts.Workers, progress, func(i int) sweep.Result {
+		c := pending[i]
+		res := sweep.RunScenario(spec.Scenarios[c/m], methods[c%m], spec.Opts)
+		if journal != nil {
+			err := journal.Append(newRecord(keys[c], attempts[c]+1, res))
+			if err != nil {
+				// An unserializable result (non-finite floats cannot
+				// cross JSON) or an oversized record must still advance
+				// the attempt counter, or every resume would re-run the
+				// cell forever; journal a stripped failure record in
+				// its place — and return exactly what that record
+				// restores, so this run and every resume report the
+				// same (failed) cell and digests stay identical. A
+				// journaled campaign thus canonicalizes unserializable
+				// results as failures.
+				fallback := Record{
+					Version: recordVersion, Key: keys[c],
+					Method: res.Method, Scenario: res.Scenario.Name,
+					Attempts: attempts[c] + 1, ElapsedNS: int64(res.Elapsed),
+					Err: "campaign: result not journaled: " + err.Error(),
+				}
+				if err2 := journal.Append(fallback); err2 != nil {
+					err = err2
+				} else {
+					err = nil
+					res = fallback.result(spec.Scenarios[c/m])
+				}
+			}
+			if err != nil {
+				appendMu.Lock()
+				if appendErr == nil {
+					appendErr = err
+				}
+				appendMu.Unlock()
+			}
+		}
+		return res
+	})
+	for i, c := range pending {
+		results[c] = ran[i]
+	}
+	return results, appendErr
+}
+
+// Resume is Run against a journal that must already exist — the
+// explicit "continue this interrupted campaign" entry point. It errors
+// when path has no journal, which catches typos before hours of
+// recomputation.
+func Resume(path string, spec Spec) ([]sweep.Result, error) {
+	if path == "" {
+		return nil, fmt.Errorf("campaign: Resume needs a journal path")
+	}
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("campaign: resume: %w", err)
+	}
+	return Run(path, spec)
+}
+
+// Digest returns a short hex digest over the physics payload of a
+// result set — every field except the wall-clock Elapsed, which is the
+// one quantity a resume legitimately changes. Two campaign executions
+// are bit-identical iff their digests match, which is what the CI
+// interrupt/resume smoke checks.
+func Digest(results []sweep.Result) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) { binary.LittleEndian.PutUint64(buf[:], v); h.Write(buf[:]) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) { u64(uint64(len(s))); h.Write([]byte(s)) }
+	for i := range results {
+		r := &results[i]
+		str(r.Method)
+		str(r.Scenario.Name)
+		u64(r.Scenario.Cfg.Seed)
+		if r.Err != nil {
+			str("err:" + r.Err.Error())
+		}
+		u64(uint64(len(r.Rec.Samples)))
+		for _, s := range r.Rec.Samples {
+			u64(uint64(s.Step))
+			f64(s.Time)
+			f64(s.Kinetic)
+			f64(s.Field)
+			f64(s.Total)
+			f64(s.Momentum)
+			f64(s.ModeAmp)
+		}
+		if r.FitOK {
+			str("fit")
+			f64(r.Growth.Gamma)
+			f64(r.Growth.Intercept)
+			f64(r.Growth.R2)
+			u64(uint64(r.Growth.N))
+			f64(r.Growth.T0)
+			f64(r.Growth.T1)
+		}
+		f64(r.TheoryGamma)
+		f64(r.EnergyVariation)
+		f64(r.MomentumDrift)
+		u64(uint64(len(r.FinalX)))
+		for _, v := range r.FinalX {
+			f64(v)
+		}
+		for _, v := range r.FinalV {
+			f64(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,397 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dlpic/internal/grid"
+	"dlpic/internal/pic"
+	"dlpic/internal/sweep"
+)
+
+// tinyBase returns a seconds-scale configuration for campaign tests.
+func tinyBase() pic.Config {
+	cfg := pic.Default()
+	cfg.Cells = 32
+	cfg.ParticlesPerCell = 40
+	return cfg
+}
+
+// tinySpec builds a 2-scenario x 2-method campaign (8 steps each).
+func tinySpec(workers int) Spec {
+	scs := sweep.Grid(tinyBase(), []float64{0.15, 0.2}, []float64{0.01}, 1, 8, 3)
+	return Spec{
+		Scenarios: scs,
+		Opts: sweep.Options{
+			Workers: workers,
+			SkipFit: true,
+			Methods: []sweep.MethodSpec{
+				{Name: "traditional"},
+				{Name: "custom", Factory: func(sc sweep.Scenario) (pic.FieldMethod, error) {
+					g, err := grid.New(sc.Cfg.Cells, sc.Cfg.Length)
+					if err != nil {
+						return nil, err
+					}
+					return pic.NewTraditionalField(sc.Cfg, g)
+				}},
+			},
+			KeepFinalState: true,
+		},
+	}
+}
+
+// sameResults compares two result sets on everything except Elapsed
+// (the one field a resume legitimately re-measures).
+func sameResults(t *testing.T, got, want []sweep.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for c := range want {
+		g, w := &got[c], &want[c]
+		if g.Method != w.Method || g.Scenario.Name != w.Scenario.Name {
+			t.Fatalf("cell %d identity (%q,%q) != (%q,%q)", c, g.Method, g.Scenario.Name, w.Method, w.Scenario.Name)
+		}
+		if (g.Err == nil) != (w.Err == nil) || (g.Err != nil && g.Err.Error() != w.Err.Error()) {
+			t.Fatalf("cell %d error %v != %v", c, g.Err, w.Err)
+		}
+		if len(g.Rec.Samples) != len(w.Rec.Samples) {
+			t.Fatalf("cell %d: %d samples, want %d", c, len(g.Rec.Samples), len(w.Rec.Samples))
+		}
+		for k := range w.Rec.Samples {
+			if g.Rec.Samples[k] != w.Rec.Samples[k] {
+				t.Fatalf("cell %d sample %d differs: %+v != %+v", c, k, g.Rec.Samples[k], w.Rec.Samples[k])
+			}
+		}
+		if g.Growth != w.Growth || g.FitOK != w.FitOK || g.TheoryGamma != w.TheoryGamma ||
+			g.EnergyVariation != w.EnergyVariation || g.MomentumDrift != w.MomentumDrift {
+			t.Fatalf("cell %d metrics differ", c)
+		}
+		if len(g.FinalX) != len(w.FinalX) {
+			t.Fatalf("cell %d final state length %d != %d", c, len(g.FinalX), len(w.FinalX))
+		}
+		for p := range w.FinalX {
+			if g.FinalX[p] != w.FinalX[p] || g.FinalV[p] != w.FinalV[p] {
+				t.Fatalf("cell %d final state diverges at particle %d", c, p)
+			}
+		}
+	}
+}
+
+// TestCampaignWithoutJournalMatchesSweep: path == "" is a plain
+// multi-method sweep.
+func TestCampaignWithoutJournalMatchesSweep(t *testing.T) {
+	spec := tinySpec(2)
+	got, err := Run("", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweep.Run(spec.Scenarios, spec.Opts)
+	sameResults(t, got, want)
+	if Digest(got) != Digest(want) {
+		t.Fatal("digest differs between campaign and direct sweep")
+	}
+}
+
+// TestKillAndResumeBitIdentical is the acceptance property: a campaign
+// interrupted after k of n cells (simulated by truncating the journal
+// to its first k lines, exactly what a killed process leaves behind)
+// and resumed from the journal yields results bit-identical to an
+// uninterrupted run, at every worker count — including a resumed run
+// whose journal tail is a torn partial line.
+func TestKillAndResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	spec := tinySpec(1)
+	want, err := Run(full, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.FirstError(want); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(buf), "\n"), "\n")
+	n := len(lines)
+	if n != len(want) {
+		t.Fatalf("journal has %d lines, want %d", n, len(want))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for k := 0; k <= n; k++ {
+			part := filepath.Join(dir, fmt.Sprintf("part-%d-%d.jsonl", workers, k))
+			partial := strings.Join(lines[:k], "")
+			if k < n {
+				// A killed writer tears the line it was appending.
+				partial += lines[k][:len(lines[k])/2]
+			}
+			if err := os.WriteFile(part, []byte(partial), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rspec := tinySpec(workers)
+			got, err := Resume(part, rspec)
+			if err != nil {
+				t.Fatalf("workers=%d k=%d: %v", workers, k, err)
+			}
+			sameResults(t, got, want)
+			if Digest(got) != Digest(want) {
+				t.Fatalf("workers=%d k=%d: digest differs", workers, k)
+			}
+			// The resumed journal is complete: resuming again restores
+			// everything without re-running a single cell.
+			again, err := Resume(part, tinySpec(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, again, want)
+		}
+	}
+}
+
+// TestFailedCellRetryBounded pins the retry contract: a permanently
+// failing cell is re-run on each resume until MaxAttempts, after which
+// its recorded failure is final and resumes stop executing it.
+func TestFailedCellRetryBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	var calls atomic.Int64
+	spec := Spec{
+		Scenarios:   sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 5, 9),
+		MaxAttempts: 2,
+		Opts: sweep.Options{
+			Workers: 2,
+			SkipFit: true,
+			Methods: []sweep.MethodSpec{
+				{Name: "traditional"},
+				{Name: "broken", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+					calls.Add(1)
+					return nil, fmt.Errorf("backend permanently down")
+				}},
+			},
+		},
+	}
+	results, err := Run(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("traditional cell failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "permanently down") {
+		t.Fatalf("broken cell error = %v", results[1].Err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("first run executed broken cell %d times, want 1", got)
+	}
+	// First resume: attempts 1 < MaxAttempts 2, so it re-runs once more.
+	if _, err := Resume(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("after first resume broken cell ran %d times, want 2", got)
+	}
+	// Further resumes: the failure is final; the cell must not run again,
+	// and its recorded error is restored.
+	for i := 0; i < 3; i++ {
+		results, err = Resume(path, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := calls.Load(); got != 2 {
+			t.Fatalf("resume %d re-ran the out-of-attempts cell (%d executions)", i+2, got)
+		}
+		if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "permanently down") {
+			t.Fatalf("restored failure = %v", results[1].Err)
+		}
+	}
+}
+
+// TestJournalTornTailAndCorruption: a torn last line is tolerated,
+// corruption before valid records is not.
+func TestJournalTornTailAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	good := `{"v":1,"key":"a","method":"traditional","scenario":"s","attempts":1,"elapsed_ns":1,"growth":{},"theory_gamma":0,"energy_variation":0,"momentum_drift":0}`
+	torn := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(good+"\n"+good[:40]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadJournal(torn)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if len(recs) != 1 || recs["a"].Method != "traditional" {
+		t.Fatalf("torn journal loaded %d records", len(recs))
+	}
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, []byte(good[:40]+"\n"+good+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(corrupt); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+	ver := filepath.Join(dir, "version.jsonl")
+	if err := os.WriteFile(ver, []byte(strings.Replace(good, `"v":1`, `"v":99`, 1)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(ver); err == nil {
+		t.Fatal("unknown record version accepted")
+	}
+}
+
+// TestKeyDeterminismAndSensitivity: keys are stable across calls and
+// change with any physics-relevant input.
+func TestKeyDeterminismAndSensitivity(t *testing.T) {
+	sc := sweep.Scenario{Name: "s", Cfg: tinyBase(), Steps: 10}
+	var opts sweep.Options
+	k1, err := Key("mlp", sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("mlp", sc, opts)
+	if k1 != k2 {
+		t.Fatalf("key not deterministic: %q vs %q", k1, k2)
+	}
+	if k, _ := Key("cnn", sc, opts); k == k1 {
+		t.Fatal("method name not in key")
+	}
+	sc2 := sc
+	sc2.Steps = 11
+	if k, _ := Key("mlp", sc2, opts); k == k1 {
+		t.Fatal("step count not in key")
+	}
+	sc3 := sc
+	sc3.Cfg.Seed = 999
+	if k, _ := Key("mlp", sc3, opts); k == k1 {
+		t.Fatal("config seed not in key")
+	}
+	sc4 := sc
+	sc4.Cfg.Vth = 0.123
+	if k, _ := Key("mlp", sc4, opts); k == k1 {
+		t.Fatal("config physics not in key")
+	}
+	// Options that change what a Result contains are part of the key,
+	// so resuming with different options re-runs instead of restoring
+	// records missing the requested fields.
+	if k, _ := Key("mlp", sc, sweep.Options{SkipFit: true}); k == k1 {
+		t.Fatal("SkipFit not in key")
+	}
+	if k, _ := Key("mlp", sc, sweep.Options{KeepFinalState: true}); k == k1 {
+		t.Fatal("KeepFinalState not in key")
+	}
+	// Pure scheduling knobs are not.
+	if k, _ := Key("mlp", sc, sweep.Options{Workers: 7}); k != k1 {
+		t.Fatal("Workers leaked into the key")
+	}
+	// '|' inside names cannot shift the method/scenario boundary: the
+	// components are length-prefixed.
+	scX := sc
+	scX.Name = "x"
+	scY := sc
+	scY.Name = "s1|x"
+	kx, _ := Key("a|s1", scX, opts)
+	ky, _ := Key("a", scY, opts)
+	if kx == ky {
+		t.Fatal("pipe in names collided two distinct cells")
+	}
+}
+
+// TestResumeRequiresJournal pins the typo guard.
+func TestResumeRequiresJournal(t *testing.T) {
+	if _, err := Resume(filepath.Join(t.TempDir(), "missing.jsonl"), tinySpec(1)); err == nil {
+		t.Fatal("resume of a missing journal succeeded")
+	}
+	if _, err := Resume("", tinySpec(1)); err == nil {
+		t.Fatal("resume without a path succeeded")
+	}
+}
+
+// TestStaleJournalEntriesIgnored: records whose keys no longer match
+// the campaign (changed physics) are ignored, not restored.
+func TestStaleJournalEntriesIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	spec := tinySpec(1)
+	if _, err := Run(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Same scenario names, different physics: everything re-runs.
+	changed := tinySpec(1)
+	for i := range changed.Scenarios {
+		changed.Scenarios[i].Steps = 9
+	}
+	want := sweep.Run(changed.Scenarios, changed.Opts)
+	got, err := Resume(path, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want)
+}
+
+// nanField is a field method that poisons the run with NaNs, producing
+// a result JSON cannot carry.
+type nanField struct{}
+
+func (nanField) Name() string { return "nan" }
+
+func (nanField) ComputeField(sim *pic.Simulation, e []float64) error {
+	for i := range e {
+		e[i] = math.NaN()
+	}
+	return nil
+}
+
+// TestUnserializableResultCanonicalizedAsFailure: a journaled campaign
+// whose cell result cannot cross JSON (non-finite floats) journals a
+// stripped failure record, returns exactly what that record restores,
+// and therefore stays digest-identical across resumes — and the
+// attempt counter advances, so the retry bound still holds.
+func TestUnserializableResultCanonicalizedAsFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	spec := Spec{
+		// One step only: the NaN field poisons the recorded energies
+		// without the diverged particles ever re-entering a deposit.
+		Scenarios:   sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 1, 21),
+		MaxAttempts: 1,
+		Opts: sweep.Options{
+			Workers: 1,
+			SkipFit: true,
+			Methods: []sweep.MethodSpec{{Name: "nan", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+				return nanField{}, nil
+			}}},
+		},
+	}
+	results, err := Run(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "not journaled") {
+		t.Fatalf("unserializable cell reported %v, want a 'not journaled' failure", results[0].Err)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("journal holds %d records, want 1", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Attempts != 1 || rec.Err == "" || len(rec.Samples) != 0 {
+			t.Fatalf("fallback record %+v, want attempts=1, Err set, no payload", rec)
+		}
+	}
+	// MaxAttempts=1: the failure is final; resume restores it without
+	// re-running, and the digest matches the original run exactly.
+	again, err := Resume(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, again, results)
+	if Digest(again) != Digest(results) {
+		t.Fatal("digest changed across resume of an unserializable cell")
+	}
+}

@@ -1,0 +1,279 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dlpic/internal/diag"
+	"dlpic/internal/sweep"
+)
+
+// recordVersion is the journal line format version.
+const recordVersion = 1
+
+// Record is one journal line: the serialized outcome of one
+// scenario x method cell. Every float crosses JSON losslessly — Go
+// marshals float64 with the shortest representation that round-trips
+// bit-exactly — so a restored Record reproduces its sweep.Result
+// bit-identically (wall-clock Elapsed is carried verbatim from the run
+// that produced it). A failed cell stores its error as a string plus
+// the attempt count the retry bound is enforced against.
+type Record struct {
+	// Version is the line format version (recordVersion).
+	Version int `json:"v"`
+	// Key is the deterministic scenario x method key (see Key).
+	Key string `json:"key"`
+	// Method and Scenario echo the cell identity for human readers;
+	// Key is what resume matches on.
+	Method   string `json:"method"`
+	Scenario string `json:"scenario"`
+	// Attempts counts how many times this cell has been executed across
+	// the campaign and its resumes (1 on the first run).
+	Attempts int `json:"attempts"`
+	// ElapsedNS is the cell's wall-clock time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Err is the cell's failure, or "" on success. The remaining fields
+	// are partial when set.
+	Err string `json:"err,omitempty"`
+	// Samples is the full per-step diagnostics series.
+	Samples []diag.Sample `json:"samples,omitempty"`
+	// Growth is the fitted exponential growth (meaningful when FitOK).
+	Growth      diag.GrowthFit `json:"growth"`
+	FitOK       bool           `json:"fit_ok,omitempty"`
+	TheoryGamma float64        `json:"theory_gamma"`
+	// EnergyVariation and MomentumDrift are the conservation metrics.
+	EnergyVariation float64 `json:"energy_variation"`
+	MomentumDrift   float64 `json:"momentum_drift"`
+	// FinalX, FinalV snapshot the final phase space when the sweep ran
+	// with KeepFinalState.
+	FinalX []float64 `json:"final_x,omitempty"`
+	FinalV []float64 `json:"final_v,omitempty"`
+}
+
+// newRecord serializes one completed cell.
+func newRecord(key string, attempts int, r sweep.Result) Record {
+	rec := Record{
+		Version:  recordVersion,
+		Key:      key,
+		Method:   r.Method,
+		Scenario: r.Scenario.Name,
+		Attempts: attempts,
+
+		ElapsedNS:       int64(r.Elapsed),
+		Samples:         r.Rec.Samples,
+		Growth:          r.Growth,
+		FitOK:           r.FitOK,
+		TheoryGamma:     r.TheoryGamma,
+		EnergyVariation: r.EnergyVariation,
+		MomentumDrift:   r.MomentumDrift,
+		FinalX:          r.FinalX,
+		FinalV:          r.FinalV,
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	return rec
+}
+
+// result restores the sweep.Result of a record. The scenario comes from
+// the live campaign spec (the key guarantees it matches the one the
+// record was produced from), so configs never round-trip through the
+// journal.
+func (rec Record) result(sc sweep.Scenario) sweep.Result {
+	res := sweep.Result{
+		Scenario: sc,
+		Method:   rec.Method,
+
+		Growth:          rec.Growth,
+		FitOK:           rec.FitOK,
+		TheoryGamma:     rec.TheoryGamma,
+		EnergyVariation: rec.EnergyVariation,
+		MomentumDrift:   rec.MomentumDrift,
+		FinalX:          rec.FinalX,
+		FinalV:          rec.FinalV,
+		Elapsed:         time.Duration(rec.ElapsedNS),
+	}
+	res.Rec.Samples = rec.Samples
+	if rec.Err != "" {
+		res.Err = &journaledError{msg: rec.Err}
+	}
+	return res
+}
+
+// journaledError is a failure restored from a journal. It compares and
+// prints as its recorded message.
+type journaledError struct{ msg string }
+
+// Error implements error.
+func (e *journaledError) Error() string { return e.msg }
+
+// Journal is an append-only JSON-lines file of cell Records. One
+// process appends at a time; Append is safe for concurrent use by the
+// pool workers of a single campaign.
+type Journal struct {
+	f  *os.File
+	mu sync.Mutex
+}
+
+// LoadJournal reads the records of a journal file, last-wins by key (a
+// retried cell appends a fresh record, so later lines supersede earlier
+// ones). A torn final line — the signature of a killed writer — is
+// ignored; corruption anywhere else is an error. A missing file is an
+// error (use OpenJournal to create-or-resume).
+func LoadJournal(path string) (map[string]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records := make(map[string]Record)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var (
+		pendingErr  error
+		pendingLine int
+		line        int
+	)
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		// A decode failure is fatal only if a valid line follows it:
+		// the last line of the file may legitimately be torn.
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			pendingErr = fmt.Errorf("campaign: journal %s line %d: %w", path, line, err)
+			pendingLine = line
+			continue
+		}
+		if rec.Version != recordVersion {
+			return nil, fmt.Errorf("campaign: journal %s line %d: unsupported record version %d", path, line, rec.Version)
+		}
+		if rec.Key == "" {
+			pendingErr = fmt.Errorf("campaign: journal %s line %d: record without key", path, line)
+			pendingLine = line
+			continue
+		}
+		records[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: journal %s: %w", path, err)
+	}
+	if pendingErr != nil && pendingLine != line {
+		return nil, pendingErr
+	}
+	return records, nil
+}
+
+// OpenJournal opens path for appending, creating it if absent, and
+// returns the records already present (empty for a fresh journal). A
+// torn final line left by a killed writer is truncated away first —
+// otherwise the next appended record would glue onto the fragment and
+// corrupt the file for good.
+func OpenJournal(path string) (*Journal, map[string]Record, error) {
+	records := make(map[string]Record)
+	if _, err := os.Stat(path); err == nil {
+		// Truncate before loading: an unterminated final line — even
+		// one that happens to be complete JSON — is dropped from disk
+		// AND from the restored records, so the journal and the results
+		// it produced never disagree.
+		if err := truncateTornTail(path); err != nil {
+			return nil, nil, err
+		}
+		records, err = LoadJournal(path)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{f: f}, records, nil
+}
+
+// truncateTornTail cuts a non-newline-terminated final fragment off the
+// journal so appends start on a fresh line. The common path (a cleanly
+// terminated journal) reads a single byte; only the post-kill case
+// loads the file to find the last complete line.
+func truncateTornTail(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if st.Size() == 0 {
+		return f.Close()
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	end := 0
+	if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+		end = i + 1
+	}
+	return os.Truncate(path, int64(end))
+}
+
+// maxRecordBytes bounds one journal line at append time, below the
+// reader's scanner cap, so a campaign can never write a journal its
+// own resume cannot read back.
+const maxRecordBytes = 48 << 20
+
+// Append writes one record as a single JSON line. Records land in
+// completion order; LoadJournal's last-wins rule makes that safe for
+// retried keys. A marshal failure (non-finite floats cannot cross
+// JSON) or an oversized record leaves the journal untouched and is
+// returned so the campaign can journal a stripped failure record
+// instead — the cell's in-memory result is unaffected.
+func (j *Journal) Append(rec Record) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal record %q: %w", rec.Key, err)
+	}
+	if len(buf) > maxRecordBytes {
+		return fmt.Errorf("campaign: record %q is %d bytes, over the %d journal line limit", rec.Key, len(buf), maxRecordBytes)
+	}
+	buf = append(buf, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("campaign: append record %q: %w", rec.Key, err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

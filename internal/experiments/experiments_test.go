@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dlpic/internal/sweep"
 )
 
 // tinyPipeline is shared across tests (built once; ~seconds).
@@ -143,5 +145,94 @@ func TestPaperTable1Reference(t *testing.T) {
 	}
 	if PaperMaxField != 0.1 {
 		t.Fatal("paper field scale corrupted")
+	}
+}
+
+func TestResolveMethodNames(t *testing.T) {
+	names, needMLP, needCNN, err := ResolveMethodNames("traditional, mlp,cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != MethodTraditional || names[1] != MethodMLP || names[2] != MethodCNN {
+		t.Fatalf("resolved %v", names)
+	}
+	if !needMLP || !needCNN {
+		t.Fatalf("needMLP=%v needCNN=%v", needMLP, needCNN)
+	}
+	if _, needMLP, needCNN, err = ResolveMethodNames("traditional,oracle"); err != nil || needMLP || needCNN {
+		t.Fatalf("model-free resolve: %v %v %v", err, needMLP, needCNN)
+	}
+	if _, _, _, err := ResolveMethodNames("nope"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, _, _, err := ResolveMethodNames("mlp,mlp"); err == nil {
+		t.Fatal("duplicate method accepted")
+	}
+	if _, _, _, err := ResolveMethodNames(" , "); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+// TestMethodsModelFreeWithoutPipeline: traditional and oracle resolve
+// with a nil pipeline, and the oracle factory builds a working method.
+func TestMethodsModelFreeWithoutPipeline(t *testing.T) {
+	specs, cleanup, err := Methods(nil, []string{MethodTraditional, MethodOracle}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if len(specs) != 2 || specs[0].Name != MethodTraditional || specs[1].Name != MethodOracle {
+		t.Fatalf("specs %+v", specs)
+	}
+	if specs[0].Factory != nil || specs[0].Batcher != nil {
+		t.Fatal("traditional spec must be the zero method")
+	}
+	sc := sweep.Scenario{Name: "s", Cfg: BaseConfig(false), Steps: 3}
+	sc.Cfg.ParticlesPerCell = 20
+	m, err := specs[1].Factory(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "dl-oracle" {
+		t.Fatalf("oracle factory built %q", m.Name())
+	}
+	// DL methods without a pipeline provider are a hard error.
+	if _, _, err := Methods(nil, []string{MethodMLP}, false, 0); err == nil {
+		t.Fatal("mlp resolved without a pipeline provider")
+	}
+}
+
+// TestMethodsDLFromPipeline: the DL registry entries wrap the trained
+// solvers, per-call and batched, and a tiny multi-method campaign runs
+// bit-identically on both backends.
+func TestMethodsDLFromPipeline(t *testing.T) {
+	p := getPipeline(t)
+	sc := sweep.Grid(p.Cfg, []float64{0.2}, []float64{0.01}, 1, 4, 13)
+	run := func(batched bool) []sweep.Result {
+		specs, cleanup, err := Methods(FixedPipeline(p), []string{MethodTraditional, MethodMLP, MethodCNN}, batched, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		results := sweep.Run(sc, sweep.Options{Workers: 2, Methods: specs, SkipFit: true})
+		if err := sweep.FirstError(results); err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	perCall := run(false)
+	batched := run(true)
+	if len(perCall) != 3 || len(batched) != 3 {
+		t.Fatalf("cell counts %d/%d, want 3", len(perCall), len(batched))
+	}
+	for c := range perCall {
+		if perCall[c].Method != batched[c].Method {
+			t.Fatalf("cell %d method %q vs %q", c, perCall[c].Method, batched[c].Method)
+		}
+		for k := range perCall[c].Rec.Samples {
+			if perCall[c].Rec.Samples[k] != batched[c].Rec.Samples[k] {
+				t.Fatalf("cell %d (%s) sample %d: batched backend diverged", c, perCall[c].Method, k)
+			}
+		}
 	}
 }

@@ -115,6 +115,13 @@ func BaseConfig(paper bool) pic.Config {
 	return baseConfig(map[bool]Scale{true: ScalePaper, false: ScaleDefault}[paper])
 }
 
+// BaseConfig returns the base PIC configuration the pipeline of these
+// options would use — a pure function of the scale, available without
+// generating a corpus or training. Campaign scans use it to build the
+// scenario list up front and defer pipeline construction until a DL
+// cell actually runs.
+func (o Options) BaseConfig() pic.Config { return baseConfig(o.scale()) }
+
 func baseConfig(sc Scale) pic.Config {
 	cfg := pic.Default()
 	switch sc {

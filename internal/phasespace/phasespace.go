@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"dlpic/internal/interp"
+	"dlpic/internal/parallel"
 )
 
 // GridSpec describes the phase-space discretization: NX position bins
@@ -98,59 +99,69 @@ func (h *Hist) Reset() {
 // CIC: each particle splits its unit weight bilinearly over the 2x2
 // neighborhood of bin centers; position wraps periodically, velocity
 // clamps at the window.
+//
+// The scatter is sharded over particle chunks through
+// parallel.ScatterReduce, the same deterministic primitive the PIC
+// charge deposit uses: the chunk decomposition depends only on the
+// particle count and per-chunk partial histograms reduce in chunk
+// order, so the histogram is bit-identical at every GOMAXPROCS —
+// including inside a sweep pool, where the chunks run inline.
 func (h *Hist) Bin(x, v []float64) error {
 	if len(x) != len(v) {
 		return fmt.Errorf("phasespace: x/v length mismatch %d vs %d", len(x), len(v))
 	}
-	h.Reset()
 	spec := h.Spec
 	nx, nv := spec.NX, spec.NV
 	dx := spec.L / float64(nx)
 	dv := (spec.VMax - spec.VMin) / float64(nv)
 	switch spec.Binning {
 	case interp.NGP:
-		for p := range x {
-			ix := int(x[p] / dx)
-			if ix >= nx {
-				ix = nx - 1
-			} else if ix < 0 {
-				ix = 0
+		parallel.ScatterReduce(len(x), h.Data, func(acc []float64, start, end int) {
+			for p := start; p < end; p++ {
+				ix := int(x[p] / dx)
+				if ix >= nx {
+					ix = nx - 1
+				} else if ix < 0 {
+					ix = 0
+				}
+				iv := int((v[p] - spec.VMin) / dv)
+				if iv >= nv {
+					iv = nv - 1
+				} else if iv < 0 {
+					iv = 0
+				}
+				acc[iv*nx+ix]++
 			}
-			iv := int((v[p] - spec.VMin) / dv)
-			if iv >= nv {
-				iv = nv - 1
-			} else if iv < 0 {
-				iv = 0
-			}
-			h.Data[iv*nx+ix]++
-		}
+		})
 	case interp.CIC:
-		for p := range x {
-			// Bin-center coordinates: center of bin i is (i+0.5)*dx.
-			hx := x[p]/dx - 0.5
-			ix0 := int(math.Floor(hx))
-			fx := hx - float64(ix0)
-			hv := (v[p]-spec.VMin)/dv - 0.5
-			iv0 := int(math.Floor(hv))
-			fv := hv - float64(iv0)
-			// Clamp velocity indices; wrap position indices.
-			iv1 := iv0 + 1
-			if iv0 < 0 {
-				iv0, iv1, fv = 0, 0, 0
-			} else if iv1 >= nv {
-				iv0, iv1, fv = nv-1, nv-1, 0
+		parallel.ScatterReduce(len(x), h.Data, func(acc []float64, start, end int) {
+			for p := start; p < end; p++ {
+				// Bin-center coordinates: center of bin i is (i+0.5)*dx.
+				hx := x[p]/dx - 0.5
+				ix0 := int(math.Floor(hx))
+				fx := hx - float64(ix0)
+				hv := (v[p]-spec.VMin)/dv - 0.5
+				iv0 := int(math.Floor(hv))
+				fv := hv - float64(iv0)
+				// Clamp velocity indices; wrap position indices.
+				iv1 := iv0 + 1
+				if iv0 < 0 {
+					iv0, iv1, fv = 0, 0, 0
+				} else if iv1 >= nv {
+					iv0, iv1, fv = nv-1, nv-1, 0
+				}
+				ix0w := ((ix0 % nx) + nx) % nx
+				ix1w := (ix0w + 1) % nx
+				w00 := (1 - fx) * (1 - fv)
+				w10 := fx * (1 - fv)
+				w01 := (1 - fx) * fv
+				w11 := fx * fv
+				acc[iv0*nx+ix0w] += w00
+				acc[iv0*nx+ix1w] += w10
+				acc[iv1*nx+ix0w] += w01
+				acc[iv1*nx+ix1w] += w11
 			}
-			ix0w := ((ix0 % nx) + nx) % nx
-			ix1w := (ix0w + 1) % nx
-			w00 := (1 - fx) * (1 - fv)
-			w10 := fx * (1 - fv)
-			w01 := (1 - fx) * fv
-			w11 := fx * fv
-			h.Data[iv0*nx+ix0w] += w00
-			h.Data[iv0*nx+ix1w] += w10
-			h.Data[iv1*nx+ix0w] += w01
-			h.Data[iv1*nx+ix1w] += w11
-		}
+		})
 	default:
 		return fmt.Errorf("phasespace: unsupported binning %v", spec.Binning)
 	}

@@ -2,6 +2,7 @@ package phasespace
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -310,6 +311,47 @@ func BenchmarkBinCIC64k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := h.Bin(x, v); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestBinBitIdenticalAcrossGOMAXPROCS pins the sharded scatter: the
+// histogram must be bit-identical at every worker count for both
+// binning schemes, at particle counts large enough to span many chunks.
+func TestBinBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, scheme := range []interp.Scheme{interp.NGP, interp.CIC} {
+		s := DefaultSpec(2 * math.Pi / 3.06)
+		s.Binning = scheme
+		r := rng.New(9)
+		n := 50000 // >> chunkGrain: the scatter splits into many chunks
+		x := make([]float64, n)
+		v := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64() * s.L
+			v[i] = 0.3 * r.NormFloat64()
+		}
+		ref := make([]float64, s.Size())
+		for _, procs := range []int{1, 2, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			h, err := NewHist(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Bin(x, v); err != nil {
+				t.Fatal(err)
+			}
+			if procs == 1 {
+				copy(ref, h.Data)
+				continue
+			}
+			for i := range ref {
+				if h.Data[i] != ref[i] {
+					t.Fatalf("%v binning: GOMAXPROCS=%d bin %d = %v, serial %v",
+						scheme, procs, i, h.Data[i], ref[i])
+				}
+			}
 		}
 	}
 }

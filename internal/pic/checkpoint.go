@@ -1,7 +1,10 @@
 package pic
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -104,6 +107,26 @@ func (s *Simulation) SaveCheckpointFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ConfigKey returns a short deterministic fingerprint of a Config,
+// derived from the same gob serialization the checkpoint machinery
+// uses. Two configs share a key iff they gob-encode identically, so
+// any change to the physics (box, particle counts, seeds, solver
+// choices) changes the key. Note that gob's type descriptor covers
+// every struct field, so adding a field to Config — even one every
+// config leaves at its zero value — changes all keys and invalidates
+// existing campaign journals; that is the safe direction (stale
+// records re-run rather than restore), but it means journals do not
+// survive Config schema changes. Campaign journals (internal/campaign)
+// key per-scenario records with it.
+func ConfigKey(cfg Config) (string, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cfg); err != nil {
+		return "", fmt.Errorf("pic: fingerprint config: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:8]), nil
 }
 
 // LoadCheckpointFile loads from path.

@@ -103,3 +103,40 @@ func TestLoadCheckpointCorruptFields(t *testing.T) {
 		t.Fatal("truncated checkpoint should fail")
 	}
 }
+
+// TestConfigKeyDeterministicAndSensitive pins the fingerprint campaign
+// journals key on: stable for equal configs, different for any changed
+// field (including fields moving to/from their zero value).
+func TestConfigKeyDeterministicAndSensitive(t *testing.T) {
+	cfg := Default()
+	k1, err := ConfigKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ConfigKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || len(k1) != 16 {
+		t.Fatalf("fingerprint unstable or malformed: %q vs %q", k1, k2)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Seed++ },
+		func(c *Config) { c.V0 = 0.123 },
+		func(c *Config) { c.Vth = 0 },
+		func(c *Config) { c.Cells = 128 },
+		func(c *Config) { c.EnergyConserving = true },
+		func(c *Config) { c.Solver = "cg" },
+	}
+	for i, mutate := range mutations {
+		c := Default()
+		mutate(&c)
+		k, err := ConfigKey(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == k1 {
+			t.Fatalf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}

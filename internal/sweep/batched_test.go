@@ -74,9 +74,9 @@ func TestBatchedSweepMatchesPerCall(t *testing.T) {
 	solver, scs := dlFixture(t)
 	perCall := runKeys(t, scs, sweep.Options{
 		Workers: 1,
-		Method: func(sweep.Scenario) (pic.FieldMethod, error) {
+		Methods: []sweep.MethodSpec{{Name: "mlp", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
 			return solver.Clone()
-		},
+		}}},
 	})
 	for _, workers := range []int{1, 2, 4, 8} {
 		for _, maxBatch := range []int{1, 2, 64} {
@@ -86,7 +86,8 @@ func TestBatchedSweepMatchesPerCall(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer bs.Close()
-				got := runKeys(t, scs, sweep.Options{Workers: workers, Batcher: bs})
+				got := runKeys(t, scs, sweep.Options{Workers: workers,
+					Methods: []sweep.MethodSpec{{Name: "mlp-batched", Batcher: bs}}})
 				for i := range perCall {
 					if got[i] != perCall[i] {
 						t.Fatalf("scenario %d (%s) diverged from per-call path", i, scs[i].Name)
@@ -107,7 +108,8 @@ func TestBatchedSweepMatchesPerCall(t *testing.T) {
 	}
 }
 
-// TestBatcherMethodMutuallyExclusive pins the Options contract.
+// TestBatcherMethodMutuallyExclusive pins the MethodSpec contract: one
+// spec cannot carry both a per-call factory and a batched backend.
 func TestBatcherMethodMutuallyExclusive(t *testing.T) {
 	solver, scs := dlFixture(t)
 	bs, err := batch.FromNNSolver(solver, 0)
@@ -116,13 +118,16 @@ func TestBatcherMethodMutuallyExclusive(t *testing.T) {
 	}
 	defer bs.Close()
 	results := sweep.Run(scs[:1], sweep.Options{
-		Batcher: bs,
-		Method: func(sweep.Scenario) (pic.FieldMethod, error) {
-			return solver.Clone()
-		},
+		Methods: []sweep.MethodSpec{{
+			Name:    "both",
+			Batcher: bs,
+			Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+				return solver.Clone()
+			},
+		}},
 	})
 	if err := sweep.FirstError(results); err == nil {
-		t.Fatal("Method+Batcher accepted")
+		t.Fatal("Factory+Batcher accepted")
 	}
 }
 
@@ -138,7 +143,8 @@ func TestBatchedSweepScenarioError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bs.Close()
-	results := sweep.Run(mixed, sweep.Options{Workers: 4, Batcher: bs})
+	results := sweep.Run(mixed, sweep.Options{Workers: 4,
+		Methods: []sweep.MethodSpec{{Name: "mlp-batched", Batcher: bs}}})
 	if results[0].Err == nil {
 		t.Fatal("invalid scenario did not error")
 	}

@@ -2,8 +2,16 @@
 // of PIC (or Vlasov) scenario variants across a bounded worker pool,
 // runs each to completion, and collects per-scenario diagnostics plus
 // growth-rate fits. It is the substrate for corpus generation
-// (cmd/datagen), parameter scans (cmd/experiments -scan) and any future
-// batched workload.
+// (cmd/datagen), parameter scans (cmd/experiments -scan), journaled
+// campaigns (internal/campaign) and any future batched workload.
+//
+// Multi-method sweeps. Options.Methods is a named method registry: each
+// MethodSpec names one field-method backend (traditional, a
+// per-scenario factory, or a shared batched backend), and Run executes
+// the full scenario x method cross product on one pool, tagging every
+// Result with its method name. This is how the paper's side-by-side
+// comparisons (traditional vs MLP vs CNN vs oracle over a scenario
+// grid) run as a single campaign.
 //
 // Determinism: every scenario carries its own pre-derived seed (Grid
 // assigns seeds in scenario order before anything runs), each
@@ -38,11 +46,12 @@ type Scenario struct {
 }
 
 // MethodFactory builds the field method for one scenario. It is called
-// once per scenario inside the worker that runs it; the returned method
-// is owned by that scenario's simulation exclusively (FieldMethod
-// instances hold scratch state and must not be shared across
-// concurrently stepping simulations). A nil factory selects the
-// traditional deposit+Poisson method.
+// once per scenario x method cell inside the worker that runs it, so it
+// must be safe for concurrent calls; the returned method is owned by
+// that cell's simulation exclusively (FieldMethod instances hold
+// scratch state and must not be shared across concurrently stepping
+// simulations). A nil factory selects the traditional deposit+Poisson
+// method.
 type MethodFactory func(sc Scenario) (pic.FieldMethod, error)
 
 // Batcher builds per-scenario field methods that share one batched
@@ -59,9 +68,94 @@ type Batcher interface {
 	FieldMethod(cfg pic.Config) (pic.FieldMethod, error)
 }
 
-// Result is the outcome of one scenario.
+// MethodSpec is one entry of a sweep's method registry: a named
+// field-method backend. At most one of Factory and Batcher may be set;
+// with both nil the spec selects the traditional deposit+Poisson
+// method. The zero value (with a Name) is therefore the traditional
+// method. Specs are shared across pool workers: Factory must tolerate
+// concurrent calls, and a Batcher hands each cell its own client while
+// the heavyweight backend stays shared.
+type MethodSpec struct {
+	// Name identifies the method; it lands in Result.Method and in
+	// campaign journal keys. Empty is allowed only when the spec is the
+	// implicit traditional default (both Factory and Batcher nil), where
+	// it resolves to "traditional".
+	Name string
+	// Factory builds one field method per scenario (per-call backend).
+	Factory MethodFactory
+	// Batcher routes every scenario's field solve through one shared
+	// batched-inference backend (see internal/batch).
+	Batcher Batcher
+}
+
+// Validate rejects a spec that sets both Factory and Batcher.
+func (m MethodSpec) Validate() error {
+	if m.Factory != nil && m.Batcher != nil {
+		return fmt.Errorf("sweep: method %q: Factory and Batcher are mutually exclusive", m.label())
+	}
+	return nil
+}
+
+// label returns the display name of the spec, resolving the implicit
+// traditional default.
+func (m MethodSpec) label() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	if m.Factory == nil && m.Batcher == nil {
+		return "traditional"
+	}
+	return "unnamed"
+}
+
+// ValidateMethods checks a method registry: every spec must be valid,
+// every spec carrying a Factory or Batcher must be named (names key
+// results and journal records — an anonymous backend could be silently
+// mistaken for a different one on a later resume), and names must be
+// unique. Only the implicit traditional default (zero spec) may omit
+// its name.
+func ValidateMethods(methods []MethodSpec) error {
+	seen := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		name := m.label()
+		if name == "unnamed" {
+			return fmt.Errorf("sweep: method specs with a Factory or Batcher require a Name")
+		}
+		if seen[name] {
+			return fmt.Errorf("sweep: duplicate method name %q", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// ResolveMethods normalizes a registry for execution: an empty list
+// becomes the single traditional method, and every returned spec
+// carries a non-empty name. The error is ValidateMethods'.
+func ResolveMethods(methods []MethodSpec) ([]MethodSpec, error) {
+	if len(methods) == 0 {
+		return []MethodSpec{{Name: "traditional"}}, nil
+	}
+	if err := ValidateMethods(methods); err != nil {
+		return nil, err
+	}
+	out := make([]MethodSpec, len(methods))
+	for i, m := range methods {
+		m.Name = m.label()
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Result is the outcome of one scenario x method cell.
 type Result struct {
 	Scenario Scenario
+	// Method is the name of the method registry entry that produced
+	// this result ("traditional" for the default).
+	Method string
 	// Rec holds the per-step diagnostics of the run.
 	Rec diag.Recorder
 	// Growth is the fitted exponential growth of the monitored mode
@@ -77,82 +171,114 @@ type Result struct {
 	// FinalX, FinalV snapshot the particle phase space at the end of the
 	// run (only when Options.KeepFinalState is set).
 	FinalX, FinalV []float64
-	// Elapsed is the wall-clock time of this scenario.
+	// Elapsed is the wall-clock time of this cell.
 	Elapsed time.Duration
-	// Err is non-nil if the scenario failed to build or step; the other
+	// Err is non-nil if the cell failed to build or step; the other
 	// fields are partial in that case.
 	Err error
 }
+
+// Failure implements Failer.
+func (r Result) Failure() error { return r.Err }
 
 // Options configures a sweep run.
 type Options struct {
 	// Workers bounds the pool; <= 0 selects GOMAXPROCS.
 	Workers int
-	// Method builds the per-scenario field method (nil = traditional).
-	Method MethodFactory
-	// Batcher, if non-nil, routes every scenario's field solve through
-	// a shared batched-inference backend (see internal/batch). Results
-	// are bit-identical to the per-call path at any worker count and
-	// batch size. Mutually exclusive with Method.
-	Batcher Batcher
+	// Methods is the named method registry: every scenario runs once
+	// per entry, and results carry the entry's name. Empty selects the
+	// single traditional method. See MethodSpec.
+	Methods []MethodSpec
 	// SkipFit disables the growth-rate fit (e.g. for non-unstable
 	// configurations where no growth window exists).
 	SkipFit bool
 	// KeepFinalState snapshots each run's final (x, v) into the Result.
 	KeepFinalState bool
-	// Progress, if non-nil, is called after each completed scenario with
+	// Progress, if non-nil, is called after each completed cell with
 	// the completed and total counts. Calls are serialized.
 	Progress func(done, total int)
 }
 
-// Run executes every scenario on a bounded worker pool and returns the
-// results in scenario order. Per-scenario failures are reported in
-// Result.Err rather than aborting the sweep; FirstError collects them.
-func Run(scenarios []Scenario, opts Options) []Result {
-	results := make([]Result, len(scenarios))
+// Collect runs run(i) for every index of [0, n) on a bounded worker
+// pool and stores the returned values in input order; progress, if
+// non-nil, is called serialized after each completion. It is the shared
+// scheduling plumbing under Run, RunVlasov and the campaign engine: any
+// per-index result type rides the same pool, ordering and progress
+// discipline.
+func Collect[R any](n, workers int, progress func(done, total int), run func(i int) R) []R {
+	results := make([]R, n)
 	var (
 		mu   sync.Mutex
 		done int
 	)
-	parallel.ForPool(len(scenarios), opts.Workers, func(i int) {
-		results[i] = runOne(scenarios[i], opts)
-		if opts.Progress != nil {
+	parallel.ForPool(n, workers, func(i int) {
+		results[i] = run(i)
+		if progress != nil {
 			mu.Lock()
 			done++
-			opts.Progress(done, len(scenarios))
+			progress(done, n)
 			mu.Unlock()
 		}
 	})
 	return results
 }
 
-func runOne(sc Scenario, opts Options) (res Result) {
-	res = Result{Scenario: sc}
+// Run executes the scenario x method cross product on a bounded worker
+// pool and returns the results scenario-major (all methods of scenario
+// 0, then scenario 1, ...): cell (i, j) of S scenarios and M methods is
+// results[i*M+j]. With an empty Options.Methods the result list is one
+// traditional Result per scenario, exactly the single-method sweep.
+// Per-cell failures are reported in Result.Err rather than aborting the
+// sweep; FirstError collects them. An invalid method registry fails
+// every cell.
+func Run(scenarios []Scenario, opts Options) []Result {
+	methods, err := ResolveMethods(opts.Methods)
+	if err != nil {
+		// Shape-preserving failure: the caller can still index cells.
+		m := len(opts.Methods)
+		results := make([]Result, len(scenarios)*m)
+		for c := range results {
+			results[c] = Result{Scenario: scenarios[c/m], Method: opts.Methods[c%m].label(), Err: err}
+		}
+		return results
+	}
+	m := len(methods)
+	return Collect(len(scenarios)*m, opts.Workers, opts.Progress, func(c int) Result {
+		return RunScenario(scenarios[c/m], methods[c%m], opts)
+	})
+}
+
+// RunScenario executes one scenario with one method spec and returns
+// its Result. It is the unit of work Run schedules and the campaign
+// engine journals; calling it directly runs the cell inline.
+func RunScenario(sc Scenario, m MethodSpec, opts Options) (res Result) {
+	res = Result{Scenario: sc, Method: m.label()}
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
+	if err := m.Validate(); err != nil {
+		res.Err = fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+		return res
+	}
 	if sc.Steps < 1 {
 		res.Err = fmt.Errorf("sweep: scenario %q: Steps = %d, need >= 1", sc.Name, sc.Steps)
 		return res
 	}
 	var method pic.FieldMethod
 	switch {
-	case opts.Method != nil && opts.Batcher != nil:
-		res.Err = fmt.Errorf("sweep: scenario %q: Options.Method and Options.Batcher are mutually exclusive", sc.Name)
-		return res
-	case opts.Batcher != nil:
-		m, err := opts.Batcher.FieldMethod(sc.Cfg)
+	case m.Batcher != nil:
+		fm, err := m.Batcher.FieldMethod(sc.Cfg)
 		if err != nil {
-			res.Err = fmt.Errorf("sweep: scenario %q: batcher: %w", sc.Name, err)
+			res.Err = fmt.Errorf("sweep: scenario %q: method %q: batcher: %w", sc.Name, res.Method, err)
 			return res
 		}
-		method = m
-	case opts.Method != nil:
-		m, err := opts.Method(sc)
+		method = fm
+	case m.Factory != nil:
+		fm, err := m.Factory(sc)
 		if err != nil {
-			res.Err = fmt.Errorf("sweep: scenario %q: method: %w", sc.Name, err)
+			res.Err = fmt.Errorf("sweep: scenario %q: method %q: %w", sc.Name, res.Method, err)
 			return res
 		}
-		method = m
+		method = fm
 	}
 	// Methods holding backend resources (e.g. a batch-server client)
 	// release them when the scenario is done, success or failure.
@@ -161,28 +287,48 @@ func runOne(sc Scenario, opts Options) (res Result) {
 	}
 	sim, err := pic.New(sc.Cfg, method)
 	if err != nil {
-		res.Err = fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+		res.Err = fmt.Errorf("sweep: scenario %q: method %q: %w", sc.Name, res.Method, err)
 		return res
 	}
 	if err := sim.Run(sc.Steps, &res.Rec, nil); err != nil {
-		res.Err = fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
+		res.Err = fmt.Errorf("sweep: scenario %q: method %q: %w", sc.Name, res.Method, err)
 		return res
 	}
 	res.TheoryGamma = theoryGamma(sc.Cfg)
-	if !opts.SkipFit {
-		res.Growth, res.FitOK = fitGrowth(&res.Rec)
-	}
-	if total, err := res.Rec.Series("total"); err == nil {
-		res.EnergyVariation = diag.MaxRelativeVariation(total)
-	}
-	if mom, err := res.Rec.Series("momentum"); err == nil {
-		res.MomentumDrift = diag.Drift(mom)
-	}
+	metrics := analyzeRun(&res.Rec, opts.SkipFit)
+	res.Growth, res.FitOK = metrics.Growth, metrics.FitOK
+	res.EnergyVariation = metrics.EnergyVariation
+	res.MomentumDrift = metrics.MomentumDrift
 	if opts.KeepFinalState {
 		res.FinalX = append([]float64(nil), sim.P.X...)
 		res.FinalV = append([]float64(nil), sim.P.V...)
 	}
 	return res
+}
+
+// runMetrics are the post-run diagnostics every scenario family (PIC,
+// Vlasov) extracts from its recorder.
+type runMetrics struct {
+	Growth          diag.GrowthFit
+	FitOK           bool
+	EnergyVariation float64
+	MomentumDrift   float64
+}
+
+// analyzeRun computes the shared growth-fit and conservation metrics of
+// a completed run.
+func analyzeRun(rec *diag.Recorder, skipFit bool) runMetrics {
+	var m runMetrics
+	if !skipFit {
+		m.Growth, m.FitOK = fitGrowth(rec)
+	}
+	if total, err := rec.Series("total"); err == nil {
+		m.EnergyVariation = diag.MaxRelativeVariation(total)
+	}
+	if mom, err := rec.Series("momentum"); err == nil {
+		m.MomentumDrift = diag.Drift(mom)
+	}
+	return m
 }
 
 // fitGrowth fits the exponential growth of the recorded mode amplitude
@@ -212,12 +358,20 @@ func theoryGamma(cfg pic.Config) float64 {
 	return ts.GrowthRate(k)
 }
 
-// FirstError returns the first per-scenario error in a result set, or
-// nil if every scenario succeeded.
-func FirstError(results []Result) error {
-	for i := range results {
-		if results[i].Err != nil {
-			return results[i].Err
+// Failer is the error accessor every sweep result type implements; the
+// generic error plumbing (FirstError) is shared through it.
+type Failer interface {
+	// Failure returns the per-cell error, or nil on success.
+	Failure() error
+}
+
+// FirstError returns the first per-cell error in a result set, or nil
+// if every cell succeeded. It works for any sweep result family (PIC,
+// Vlasov).
+func FirstError[R Failer](results []R) error {
+	for _, r := range results {
+		if err := r.Failure(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -271,25 +425,17 @@ type VlasovResult struct {
 	Err             error
 }
 
+// Failure implements Failer.
+func (r VlasovResult) Failure() error { return r.Err }
+
 // RunVlasov executes Vlasov scenarios on the same bounded pool
 // discipline as Run: results in scenario order, per-scenario errors in
-// the Result.
+// the Result. The Vlasov solver has no field-method seam, so
+// Options.Methods is ignored here.
 func RunVlasov(scenarios []VlasovScenario, opts Options) []VlasovResult {
-	results := make([]VlasovResult, len(scenarios))
-	var (
-		mu   sync.Mutex
-		done int
-	)
-	parallel.ForPool(len(scenarios), opts.Workers, func(i int) {
-		results[i] = runOneVlasov(scenarios[i], opts)
-		if opts.Progress != nil {
-			mu.Lock()
-			done++
-			opts.Progress(done, len(scenarios))
-			mu.Unlock()
-		}
+	return Collect(len(scenarios), opts.Workers, opts.Progress, func(i int) VlasovResult {
+		return runOneVlasov(scenarios[i], opts)
 	})
-	return results
 }
 
 func runOneVlasov(sc VlasovScenario, opts Options) (res VlasovResult) {
@@ -309,11 +455,8 @@ func runOneVlasov(sc VlasovScenario, opts Options) (res VlasovResult) {
 		res.Err = fmt.Errorf("sweep: vlasov scenario %q: %w", sc.Name, err)
 		return res
 	}
-	if !opts.SkipFit {
-		res.Growth, res.FitOK = fitGrowth(&res.Rec)
-	}
-	if total, err := res.Rec.Series("total"); err == nil {
-		res.EnergyVariation = diag.MaxRelativeVariation(total)
-	}
+	metrics := analyzeRun(&res.Rec, opts.SkipFit)
+	res.Growth, res.FitOK = metrics.Growth, metrics.FitOK
+	res.EnergyVariation = metrics.EnergyVariation
 	return res
 }

@@ -178,7 +178,7 @@ func TestMethodFactoryCalledPerScenario(t *testing.T) {
 	results := Run(scs, Options{
 		Workers: 2,
 		SkipFit: true,
-		Method: func(sc Scenario) (pic.FieldMethod, error) {
+		Methods: []MethodSpec{{Name: "custom", Factory: func(sc Scenario) (pic.FieldMethod, error) {
 			<-mu
 			built = append(built, sc.Name)
 			mu <- struct{}{}
@@ -187,7 +187,7 @@ func TestMethodFactoryCalledPerScenario(t *testing.T) {
 				return nil, err
 			}
 			return pic.NewTraditionalField(sc.Cfg, g)
-		},
+		}}},
 	})
 	if err := FirstError(results); err != nil {
 		t.Fatal(err)
@@ -218,5 +218,130 @@ func TestRunVlasovSweep(t *testing.T) {
 				t.Fatalf("vlasov scenario %d sample %d differs across worker counts", i, j)
 			}
 		}
+	}
+}
+
+// namedTraditionalFactory builds a custom method for multi-method tests
+// without importing internal/core (the grid-based traditional field
+// under a different registry name suffices to exercise the plumbing).
+func namedTraditionalFactory(t *testing.T) MethodFactory {
+	t.Helper()
+	return func(sc Scenario) (pic.FieldMethod, error) {
+		g, err := grid.New(sc.Cfg.Cells, sc.Cfg.Length)
+		if err != nil {
+			return nil, err
+		}
+		return pic.NewTraditionalField(sc.Cfg, g)
+	}
+}
+
+// TestRunMultiMethodScenarioMajor pins the cross-product contract:
+// S scenarios x M methods produce S*M results, scenario-major, each
+// tagged with its method name, and every method's slice is
+// bit-identical to a single-method run of the same registry entry.
+func TestRunMultiMethodScenarioMajor(t *testing.T) {
+	scs := Grid(tinyBase(), []float64{0.15, 0.2}, []float64{0, 0.01}, 1, 12, 5)
+	methods := []MethodSpec{
+		{Name: "traditional"},
+		{Name: "custom", Factory: namedTraditionalFactory(t)},
+	}
+	results := Run(scs, Options{Workers: 4, Methods: methods, SkipFit: true})
+	if len(results) != len(scs)*len(methods) {
+		t.Fatalf("got %d results, want %d", len(results), len(scs)*len(methods))
+	}
+	for i := range scs {
+		for j := range methods {
+			r := &results[i*len(methods)+j]
+			if r.Err != nil {
+				t.Fatalf("cell (%d,%d): %v", i, j, r.Err)
+			}
+			if r.Scenario.Name != scs[i].Name || r.Method != methods[j].Name {
+				t.Fatalf("cell (%d,%d) is (%q, %q), want (%q, %q)",
+					i, j, r.Scenario.Name, r.Method, scs[i].Name, methods[j].Name)
+			}
+		}
+	}
+	for j, m := range methods {
+		single := Run(scs, Options{Workers: 1, Methods: []MethodSpec{m}, SkipFit: true})
+		for i := range scs {
+			got, want := results[i*len(methods)+j], single[i]
+			if len(got.Rec.Samples) != len(want.Rec.Samples) {
+				t.Fatalf("method %q scenario %d: %d samples, want %d",
+					m.Name, i, len(got.Rec.Samples), len(want.Rec.Samples))
+			}
+			for k := range want.Rec.Samples {
+				if got.Rec.Samples[k] != want.Rec.Samples[k] {
+					t.Fatalf("method %q scenario %d sample %d differs from single-method run", m.Name, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestRunMultiMethodBitIdenticalAcrossWorkers repeats the worker-count
+// invariance property for a multi-method registry.
+func TestRunMultiMethodBitIdenticalAcrossWorkers(t *testing.T) {
+	scs := Grid(tinyBase(), []float64{0.2}, []float64{0, 0.01}, 1, 10, 11)
+	methods := []MethodSpec{
+		{Name: "traditional"},
+		{Name: "custom", Factory: namedTraditionalFactory(t)},
+	}
+	ref := Run(scs, Options{Workers: 1, Methods: methods, SkipFit: true, KeepFinalState: true})
+	if err := FirstError(ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got := Run(scs, Options{Workers: workers, Methods: methods, SkipFit: true, KeepFinalState: true})
+		for c := range got {
+			if got[c].Err != nil {
+				t.Fatalf("workers=%d cell %d: %v", workers, c, got[c].Err)
+			}
+			for k := range ref[c].Rec.Samples {
+				if got[c].Rec.Samples[k] != ref[c].Rec.Samples[k] {
+					t.Fatalf("workers=%d cell %d sample %d differs", workers, c, k)
+				}
+			}
+			for p := range ref[c].FinalX {
+				if got[c].FinalX[p] != ref[c].FinalX[p] || got[c].FinalV[p] != ref[c].FinalV[p] {
+					t.Fatalf("workers=%d cell %d: final state diverges at particle %d", workers, c, p)
+				}
+			}
+		}
+	}
+}
+
+// TestResolveMethodsValidation pins the registry rules: empty lists
+// default to traditional, multi-method entries need unique non-empty
+// names, and Factory+Batcher on one spec is rejected.
+func TestResolveMethodsValidation(t *testing.T) {
+	ms, err := ResolveMethods(nil)
+	if err != nil || len(ms) != 1 || ms[0].Name != "traditional" {
+		t.Fatalf("empty registry resolved to %+v, %v", ms, err)
+	}
+	if _, err := ResolveMethods([]MethodSpec{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := ResolveMethods([]MethodSpec{{Name: "a"}, {Factory: namedTraditionalFactory(t)}}); err == nil {
+		t.Fatal("unnamed non-traditional spec accepted in multi-method registry")
+	}
+	// Even alone, a Factory/Batcher spec needs a name: an anonymous
+	// backend would collide with a *different* anonymous backend in
+	// campaign journal keys across resumes.
+	if _, err := ResolveMethods([]MethodSpec{{Factory: namedTraditionalFactory(t)}}); err == nil {
+		t.Fatal("single unnamed Factory spec accepted")
+	}
+	// A single unnamed traditional spec stays valid and gets the name.
+	ms, err = ResolveMethods([]MethodSpec{{}})
+	if err != nil || ms[0].Name != "traditional" {
+		t.Fatalf("unnamed traditional resolved to %+v, %v", ms, err)
+	}
+	// Registry errors surface in every cell, shape preserved.
+	scs := Grid(tinyBase(), []float64{0.2}, []float64{0}, 1, 5, 1)
+	bad := Run(scs, Options{Methods: []MethodSpec{{Name: "a"}, {Name: "a"}}})
+	if len(bad) != 2*len(scs) {
+		t.Fatalf("invalid registry returned %d results, want %d", len(bad), 2*len(scs))
+	}
+	if FirstError(bad) == nil {
+		t.Fatal("invalid registry produced no error")
 	}
 }

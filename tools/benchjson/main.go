@@ -1,11 +1,20 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a stable JSON document, so benchmark numbers can be
-// committed per PR (BENCH_PR3.json, ...) and diffed by later ones.
+// committed per PR (BENCH_PR3.json, BENCH_PR4.json, ...) and diffed by
+// later ones.
 //
 // Usage:
 //
 //	go test -run xxx -bench 'Training|Batched|Sweep' -cpu 1,4,8 . | \
-//	    go run ./tools/benchjson -out BENCH_PR3.json
+//	    go run ./tools/benchjson -out BENCH_PR4.json -diff BENCH_PR3.json
+//
+// With -diff OLD.json, a per-benchmark comparison against the previous
+// committed file is printed to stderr after the new file is written:
+// ns/op delta percentages for names present in both, plus the names
+// that appeared or disappeared. The diff is informational — it never
+// fails the run — because benchmark identity is matched on the raw
+// name, and hardware differences between recording machines dominate
+// small deltas.
 //
 // Benchmark names are recorded verbatim, including the trailing -P
 // GOMAXPROCS suffix Go appends for P > 1: a sub-benchmark whose own
@@ -50,6 +59,7 @@ var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	diff := flag.String("diff", "", "previous benchmark JSON to diff the new numbers against (report to stderr)")
 	flag.Parse()
 	file := benchFile{Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -103,8 +113,57 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
 	}
+	if *diff != "" {
+		// The diff is informational only (see package doc): a missing or
+		// malformed previous file warns without failing the run — the
+		// new numbers were already written.
+		if err := printDiff(*diff, file); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: diff (skipped):", err)
+		}
+	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchjson: benchmark run reported FAIL")
 		os.Exit(1)
 	}
+}
+
+// printDiff compares the freshly parsed benchmarks against a previously
+// committed file, reporting ns/op deltas for shared names and listing
+// added/removed ones.
+func printDiff(prevPath string, cur benchFile) error {
+	buf, err := os.ReadFile(prevPath)
+	if err != nil {
+		return err
+	}
+	var prev benchFile
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return fmt.Errorf("%s: %w", prevPath, err)
+	}
+	old := make(map[string]benchResult, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Fprintf(os.Stderr, "\nbenchjson: diff against %s (%d old, %d new benchmarks)\n",
+		prevPath, len(prev.Benchmarks), len(cur.Benchmarks))
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		seen[b.Name] = true
+		p, ok := old[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  + %-60s %12.0f ns/op (new)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if p.NsPerOp > 0 {
+			delta = 100 * (b.NsPerOp - p.NsPerOp) / p.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "    %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			b.Name, p.NsPerOp, b.NsPerOp, delta)
+	}
+	for _, b := range prev.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(os.Stderr, "  - %-60s %12.0f ns/op (removed)\n", b.Name, b.NsPerOp)
+		}
+	}
+	return nil
 }
