@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-train bench bench-json smoke-campaign docs ci
+.PHONY: all build test vet race race-train bench bench-json smoke-campaign smoke-train docs ci
 
 all: ci
 
@@ -25,9 +25,10 @@ race:
 
 # race-train runs the training-engine determinism property tests under
 # the race detector (the full nn suite is too slow under -race; these
-# are the tests that exercise the concurrent shard workers).
+# are the tests that exercise the concurrent shard workers, including
+# checkpoint/resume of the sharded trainer at Workers=1,2,4,8).
 race-train:
-	$(GO) test -race -run 'BitIdentical|Sharded|TailBatch|ShardEngine|ForwardShard' ./internal/nn/
+	$(GO) test -race -run 'BitIdentical|Sharded|TailBatch|ShardEngine|ForwardShard|Checkpoint|Resume' ./internal/nn/
 
 # bench measures the parallel hot path, sweep throughput, batched
 # inference and sharded training at 1, 4 and all cores (bit-identical
@@ -36,11 +37,19 @@ bench:
 	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched|Training' -cpu 1,4,8 -benchtime 2s .
 
 # bench-json records the training / inference / sweep / campaign
-# benchmark numbers as JSON (BENCH_PR4.json) and diffs them against the
-# previous committed file so PRs track the performance trajectory.
+# benchmark numbers as JSON (BENCH_PR<N>.json) and diffs them against
+# the previous committed file so PRs track the performance trajectory.
+# The PR number is auto-detected: one past the newest committed
+# BENCH_PR*.json. Override with `make bench-json PR=7` (the diff base
+# is then the newest file numbered below PR, so re-running inside one
+# PR keeps diffing against the predecessor, not against itself).
+BENCH_LATEST := $(shell ls BENCH_PR*.json 2>/dev/null | sed -E 's/.*BENCH_PR([0-9]+)\.json/\1/' | sort -n | tail -1)
+PR ?= $(shell expr $(BENCH_LATEST) + 1)
+BENCH_PREV = $(shell ls BENCH_PR*.json 2>/dev/null | sed -E 's/.*BENCH_PR([0-9]+)\.json/\1/' | awk '$$1 < $(PR)' | sort -n | tail -1)
 bench-json:
+	@test -n "$(BENCH_PREV)" || { echo "bench-json: no previous BENCH_PR*.json below PR=$(PR) to diff against"; exit 1; }
 	$(GO) test -run xxx -bench 'Training|Batched|Sweep' -cpu 1,4,8 -benchtime 1s . \
-		| $(GO) run ./tools/benchjson -out BENCH_PR4.json -diff BENCH_PR3.json
+		| $(GO) run ./tools/benchjson -out BENCH_PR$(PR).json -diff BENCH_PR$(BENCH_PREV).json
 
 # smoke-campaign is the CI interrupt/resume check: run a tiny
 # multi-method campaign with a journal, truncate the journal to its
@@ -58,6 +67,54 @@ smoke-campaign:
 	grep '^campaign digest:' /tmp/dlpic-smoke-resumed.out > /tmp/dlpic-smoke-digest-resumed
 	cat /tmp/dlpic-smoke-digest-full
 	diff /tmp/dlpic-smoke-digest-full /tmp/dlpic-smoke-digest-resumed
+
+# smoke-train is the CI kill/resume gate for *training*, mirroring
+# smoke-campaign one layer down. Part 1 (cmd/train): start a fit with
+# -checkpoint, kill -9 it the instant the mid-fit checkpoint lands
+# (~half the epochs), resume to the full budget, and require the final
+# model bundle to be byte-identical to an uninterrupted run's. Part 2
+# (cmd/experiments): kill a DL campaign mid-training the same way,
+# resume it (the log shows training picked up from the epoch
+# checkpoint or, if the kill raced past training, from the persisted
+# bundle) and require the bit-exact campaign digest; then resume the
+# now-complete campaign once more and require ZERO training epochs in
+# its log — the persisted bundle makes retraining unnecessary.
+ST_DIR = /tmp/dlpic-smoke-train
+ST_FIT = -data $(ST_DIR)/corpus.ds -arch mlp -hidden 512 -batch 16 -epochs 10
+ST_SCAN = -scan -methods mlp -scan-v0s 0.2 -scan-vths 0.01 -steps 30 -workers 2
+smoke-train:
+	$(GO) build -o $(ST_DIR)/train ./cmd/train
+	$(GO) build -o $(ST_DIR)/datagen ./cmd/datagen
+	$(GO) build -o $(ST_DIR)/exp ./cmd/experiments
+	rm -rf $(ST_DIR)/work && mkdir -p $(ST_DIR)/work
+	$(ST_DIR)/datagen -out $(ST_DIR)/corpus.ds -v0s 0.15,0.2 -vths 0 -repeats 1 -steps 60 -every 1 -ppc 30
+	# --- part 1: kill cmd/train mid-fit, resume, byte-diff the bundles
+	$(ST_DIR)/train $(ST_FIT) -out $(ST_DIR)/work/ref.dlpic 2> $(ST_DIR)/work/ref.log
+	$(ST_DIR)/train $(ST_FIT) -out $(ST_DIR)/work/killed.dlpic \
+		-checkpoint $(ST_DIR)/work/kill.ckpt -checkpoint-every 5 2> $(ST_DIR)/work/kill.log & \
+	pid=$$!; i=0; while [ ! -f $(ST_DIR)/work/kill.ckpt ] && [ $$i -lt 6000 ]; do i=$$((i+1)); sleep 0.01; done; \
+	kill -9 $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true
+	test ! -f $(ST_DIR)/work/killed.dlpic # the kill must land before the fit finishes
+	$(ST_DIR)/train $(ST_FIT) -out $(ST_DIR)/work/resumed.dlpic \
+		-checkpoint $(ST_DIR)/work/kill.ckpt -checkpoint-every 5 -resume 2> $(ST_DIR)/work/resume.log
+	grep -q 'resumed training' $(ST_DIR)/work/resume.log # mid-fit resume, or 0-epoch restore if the kill raced past the last epoch
+	cmp $(ST_DIR)/work/ref.dlpic $(ST_DIR)/work/resumed.dlpic
+	# --- part 2: kill a DL campaign mid-training, resume bit-identically
+	$(ST_DIR)/exp $(ST_SCAN) -journal $(ST_DIR)/work/full.jsonl > $(ST_DIR)/work/full.out 2> $(ST_DIR)/work/full.log
+	$(ST_DIR)/exp $(ST_SCAN) -journal $(ST_DIR)/work/kill.jsonl > $(ST_DIR)/work/killc.out 2> $(ST_DIR)/work/killc.log & \
+	pid=$$!; i=0; while ! ls $(ST_DIR)/work/kill.jsonl.artifacts/*.ckpt >/dev/null 2>&1 && [ $$i -lt 6000 ]; do i=$$((i+1)); sleep 0.01; done; \
+	kill -9 $$pid 2>/dev/null || true; wait $$pid 2>/dev/null || true
+	$(ST_DIR)/exp $(ST_SCAN) -resume $(ST_DIR)/work/kill.jsonl > $(ST_DIR)/work/res.out 2> $(ST_DIR)/work/res.log
+	grep -Eq 'resumed training|reusing persisted bundle' $(ST_DIR)/work/res.log
+	# --- part 3: resume the completed campaign — zero training epochs
+	$(ST_DIR)/exp $(ST_SCAN) -resume $(ST_DIR)/work/kill.jsonl > $(ST_DIR)/work/res2.out 2> $(ST_DIR)/work/res2.log
+	test "$$(grep -cE '^epoch ' $(ST_DIR)/work/res2.log)" = 0
+	grep '^campaign digest:' $(ST_DIR)/work/full.out > $(ST_DIR)/work/digest-full
+	grep '^campaign digest:' $(ST_DIR)/work/res.out > $(ST_DIR)/work/digest-res
+	grep '^campaign digest:' $(ST_DIR)/work/res2.out > $(ST_DIR)/work/digest-res2
+	cat $(ST_DIR)/work/digest-full
+	diff $(ST_DIR)/work/digest-full $(ST_DIR)/work/digest-res
+	diff $(ST_DIR)/work/digest-full $(ST_DIR)/work/digest-res2
 
 # docs fails when an exported identifier lacks a doc comment, keeping
 # `go doc` usable as the API reference.

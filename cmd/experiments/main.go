@@ -66,6 +66,7 @@ func main() {
 		methods = flag.String("methods", "", "comma-separated field methods to compare per scenario (traditional, mlp, cnn, oracle; default traditional)")
 		journal = flag.String("journal", "", "append each completed scan cell to this checkpoint journal (JSON lines)")
 		resume  = flag.String("resume", "", "resume an interrupted scan campaign from this journal, skipping completed cells")
+		bundles = flag.String("bundle-dir", "", "persist and reuse trained model bundles + epoch-granular training checkpoints in this directory, keyed by training fingerprint (default: <journal>.artifacts when -journal/-resume is set; DL methods then resume mid-training and a completed campaign resumes with zero training epochs)")
 		batched = flag.Bool("batched", false, "route DL field solves through the shared batched-inference server; without -methods, runs the per-call vs batched A/B verification scan")
 		batchN  = flag.Int("batch", 0, "batched-inference flush cap (0 = default)")
 	)
@@ -73,8 +74,8 @@ func main() {
 	// The campaign flags only act under -scan; reject them otherwise
 	// instead of silently running the (hours-long) full suite without
 	// journaling or method comparison.
-	if !*scan && (*methods != "" || *journal != "" || *resume != "") {
-		fmt.Fprintln(os.Stderr, "experiments: -methods/-journal/-resume need -scan")
+	if !*scan && (*methods != "" || *journal != "" || *resume != "" || *bundles != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -methods/-journal/-resume/-bundle-dir need -scan")
 		os.Exit(1)
 	}
 	if *scan {
@@ -82,8 +83,8 @@ func main() {
 		if *batched && *methods == "" {
 			// The A/B verification scan has no campaign journal; reject
 			// checkpoint flags instead of silently dropping them.
-			if *journal != "" || *resume != "" {
-				err = errors.New("-journal/-resume need a campaign scan: pass -methods (e.g. -methods mlp -batched)")
+			if *journal != "" || *resume != "" || *bundles != "" {
+				err = errors.New("-journal/-resume/-bundle-dir need a campaign scan: pass -methods (e.g. -methods mlp -batched)")
 			} else {
 				err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load, *trainW)
 			}
@@ -92,7 +93,7 @@ func main() {
 				v0s: *scanV0s, vths: *scanVth, repeats: *scanRep, ppc: *scanPPC,
 				steps: *steps, seed: *seed, workers: *workers,
 				methods: *methods, batched: *batched, batchN: *batchN,
-				journal: *journal, resume: *resume,
+				journal: *journal, resume: *resume, bundleDir: *bundles,
 				paper: *paper, load: *load, trainWorkers: *trainW,
 			})
 		}
@@ -123,6 +124,7 @@ type scanArgs struct {
 	batched         bool
 	batchN          int
 	journal, resume string
+	bundleDir       string
 	paper           bool
 	load            string
 	trainWorkers    int
@@ -157,19 +159,45 @@ func runMethodScan(a scanArgs) error {
 		return err
 	}
 
+	// The journal path (write or resume) also anchors the default
+	// artifact directory for trained-model bundles.
+	path := a.journal
+	if a.resume != "" {
+		path = a.resume
+	}
+
 	// Model-free campaigns (traditional / oracle) skip corpus generation
 	// and training entirely. DL methods get a lazy pipeline provider:
 	// the trained model fixes the base configuration (a pure function
 	// of the scale, known up front), but corpus generation + training
 	// only run when a DL cell actually executes — a resume whose DL
-	// cells are all journaled costs nothing.
+	// cells are all journaled costs nothing. With a journal (or an
+	// explicit -bundle-dir), trained solvers persist as
+	// fingerprint-keyed bundles: an interrupted campaign resumes
+	// mid-training from the epoch checkpoint, and a completed one
+	// reloads the bundle with zero training epochs.
 	base := pic.Default()
 	base.ParticlesPerCell = a.ppc
 	var provider experiments.PipelineProvider
+	bundleDir := a.bundleDir
+	if bundleDir != "" && !needMLP && !needCNN {
+		// Reject instead of silently ignoring — nothing would ever be
+		// written there (same rule as the other campaign flags).
+		return fmt.Errorf("-bundle-dir needs a DL method (mlp, cnn); got -methods %s", raw)
+	}
+	if bundleDir != "" && a.load != "" {
+		// -load-models bypasses training entirely, so the bundle store
+		// would never be consulted; reject the contradiction.
+		return errors.New("-bundle-dir and -load-models are mutually exclusive (loaded models skip training and bundles)")
+	}
 	if needMLP || needCNN {
+		if bundleDir == "" && path != "" && a.load == "" {
+			bundleDir = campaign.ArtifactDir(path)
+		}
 		pipeOpts := experiments.Options{
 			Tiny: !a.paper, Paper: a.paper, Seed: a.seed, Log: os.Stderr,
 			SkipCNN: !needCNN, LoadModels: a.load, TrainWorkers: a.trainWorkers,
+			BundleDir: bundleDir,
 		}
 		base = pipeOpts.BaseConfig()
 		provider = experiments.NewPipelineProvider(pipeOpts)
@@ -187,12 +215,13 @@ func runMethodScan(a scanArgs) error {
 
 	// Restored cells show up through the progress offset: a resumed
 	// campaign's first progress line already counts them as done.
-	path := a.journal
 	if a.resume != "" {
-		path = a.resume
 		fmt.Printf("resuming from %s\n", path)
 	} else if path != "" {
 		fmt.Printf("journaling to %s\n", path)
+	}
+	if bundleDir != "" {
+		fmt.Printf("model bundles: %s\n", bundleDir)
 	}
 
 	spec := campaign.Spec{

@@ -9,6 +9,15 @@
 //	train -data corpus.ds -out solver.dlpic                 # scaled MLP
 //	train -data corpus.ds -arch cnn -epochs 100 -lr 1e-4    # paper CNN
 //	train -data corpus.ds -loss pinn                        # physics loss
+//
+// Checkpointed training: -checkpoint writes the full training state
+// (weights, optimizer moments, shuffle cursor, history) atomically
+// after every -checkpoint-every epochs; after a kill, -resume restores
+// it and continues to -epochs, producing a model bundle byte-identical
+// to an uninterrupted run's:
+//
+//	train -data corpus.ds -epochs 100 -checkpoint fit.ckpt
+//	train -data corpus.ds -epochs 100 -checkpoint fit.ckpt -resume
 package main
 
 import (
@@ -43,22 +52,48 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "seed for init and shuffling")
 		cells  = flag.Int("grid-cells", 64, "PIC grid cells (for the pinn loss dx)")
 		tw     = flag.Int("train-workers", 0, "data-parallel training workers (0 = GOMAXPROCS); weights and losses are bit-identical for any value")
+		ckpt   = flag.String("checkpoint", "", "write the full training state (weights, optimizer moments, shuffle cursor, history) to this file after each checkpoint interval; resume a killed fit with -resume")
+		ckptN  = flag.Int("checkpoint-every", 1, "checkpoint after every N epochs (the final epoch is always checkpointed)")
+		resume = flag.Bool("resume", false, "resume training from the -checkpoint file: continues to -epochs and is bit-identical to an uninterrupted fit (the network comes from the checkpoint; -arch/-hidden/... are ignored, and everything else must match the interrupted run)")
 	)
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "train: -data is required")
 		os.Exit(2)
 	}
-	if err := run(*data, *out, *arch, *hidden, *layers, *ch1, *ch2, *blocks,
-		*epochs, *batch, *lr, *loss, *valN, *testN, *seed, *cells, *tw); err != nil {
+	if *resume && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "train: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+	err := run(trainOpts{
+		data: *data, out: *out, arch: *arch,
+		hidden: *hidden, layers: *layers, ch1: *ch1, ch2: *ch2, blocks: *blocks,
+		epochs: *epochs, batch: *batch, lr: *lr, loss: *loss,
+		valN: *valN, testN: *testN, seed: *seed, gridCells: *cells, trainWorkers: *tw,
+		checkpoint: nn.Checkpoint{Path: *ckpt, Every: *ckptN}, resume: *resume,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
-	epochs, batch int, lr float64, lossName string, valN, testN int, seed uint64, gridCells, trainWorkers int) error {
-	ds, err := dataset.LoadFile(data)
+// trainOpts bundles the CLI flags.
+type trainOpts struct {
+	data, out, arch                  string
+	hidden, layers, ch1, ch2, blocks int
+	epochs, batch                    int
+	lr                               float64
+	loss                             string
+	valN, testN                      int
+	seed                             uint64
+	gridCells, trainWorkers          int
+	checkpoint                       nn.Checkpoint
+	resume                           bool
+}
+
+func run(o trainOpts) error {
+	ds, err := dataset.LoadFile(o.data)
 	if err != nil {
 		return err
 	}
@@ -67,7 +102,8 @@ func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
 			return err
 		}
 	}
-	ds.Shuffle(seed)
+	ds.Shuffle(o.seed)
+	valN, testN := o.valN, o.testN
 	if valN <= 0 {
 		valN = ds.N() / 40
 		if valN < 8 {
@@ -84,29 +120,8 @@ func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
 	fmt.Fprintf(os.Stderr, "train: %d train / %d val / %d test samples, %d inputs -> %d outputs\n",
 		train.N(), val.N(), test.N(), ds.Spec.Size(), ds.Cells)
 
-	r := rng.New(seed + 1)
-	var net *nn.Network
-	switch arch {
-	case "mlp":
-		net, err = nn.NewMLP(nn.MLPConfig{
-			InDim: ds.Spec.Size(), OutDim: ds.Cells, Hidden: hidden, HiddenLayers: layers}, r)
-	case "cnn":
-		net, err = nn.NewCNN(nn.CNNConfig{
-			H: ds.Spec.NV, W: ds.Spec.NX, OutDim: ds.Cells,
-			Channels1: ch1, Channels2: ch2, Kernel: 3, Hidden: hidden, HiddenLayers: layers}, r)
-	case "resmlp":
-		net, err = nn.NewResMLP(nn.ResMLPConfig{
-			InDim: ds.Spec.Size(), OutDim: ds.Cells, Hidden: hidden, Blocks: blocks}, r)
-	default:
-		return fmt.Errorf("unknown architecture %q", arch)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "train: %s\n", net.Summary())
-
 	var lossFn nn.Loss
-	switch lossName {
+	switch o.loss {
 	case "mse":
 		lossFn = nn.MSE{}
 	case "mae":
@@ -114,24 +129,56 @@ func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
 	case "huber":
 		lossFn = nn.Huber{Delta: 0.05}
 	case "pinn":
-		dx := ds.Spec.L / float64(gridCells)
+		dx := ds.Spec.L / float64(o.gridCells)
 		lossFn = nn.PhysicsMSE{Dx: dx, LambdaDiv: 0.1, LambdaMean: 0.1}
 	default:
-		return fmt.Errorf("unknown loss %q", lossName)
+		return fmt.Errorf("unknown loss %q", o.loss)
+	}
+	tc := nn.TrainConfig{
+		Epochs: o.epochs, BatchSize: o.batch, Optimizer: nn.NewAdam(o.lr),
+		Loss: lossFn, Seed: o.seed + 2, Log: os.Stderr, LogEvery: 5,
+		Workers: o.trainWorkers, Checkpoint: o.checkpoint,
 	}
 
-	hist, err := nn.Fit(net, train.Inputs, train.Targets, val.Inputs, val.Targets, nn.TrainConfig{
-		Epochs: epochs, BatchSize: batch, Optimizer: nn.NewAdam(lr),
-		Loss: lossFn, Seed: seed + 2, Log: os.Stderr, LogEvery: 5,
-		Workers: trainWorkers,
-	})
-	if err != nil {
-		return err
+	var net *nn.Network
+	var hist nn.History
+	if o.resume {
+		// The checkpoint carries the architecture and weights; the data,
+		// loss, optimizer and seeds must match the interrupted run (the
+		// checkpoint fingerprint enforces it).
+		net, hist, err = nn.ResumeFit(train.Inputs, train.Targets, val.Inputs, val.Targets, tc)
+		if err != nil {
+			return err
+		}
+	} else {
+		r := rng.New(o.seed + 1)
+		switch o.arch {
+		case "mlp":
+			net, err = nn.NewMLP(nn.MLPConfig{
+				InDim: ds.Spec.Size(), OutDim: ds.Cells, Hidden: o.hidden, HiddenLayers: o.layers}, r)
+		case "cnn":
+			net, err = nn.NewCNN(nn.CNNConfig{
+				H: ds.Spec.NV, W: ds.Spec.NX, OutDim: ds.Cells,
+				Channels1: o.ch1, Channels2: o.ch2, Kernel: 3, Hidden: o.hidden, HiddenLayers: o.layers}, r)
+		case "resmlp":
+			net, err = nn.NewResMLP(nn.ResMLPConfig{
+				InDim: ds.Spec.Size(), OutDim: ds.Cells, Hidden: o.hidden, Blocks: o.blocks}, r)
+		default:
+			return fmt.Errorf("unknown architecture %q", o.arch)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "train: %s\n", net.Summary())
+		hist, err = nn.Fit(net, train.Inputs, train.Targets, val.Inputs, val.Targets, tc)
+		if err != nil {
+			return err
+		}
 	}
 	final := hist.Final()
 	fmt.Fprintf(os.Stderr, "train: final loss %.6g, val MAE %.6g\n", final.TrainLoss, final.ValMAE)
 
-	m := nn.Evaluate(net, test.Inputs, test.Targets, batch)
+	m := nn.Evaluate(net, test.Inputs, test.Targets, o.batch)
 	var maxField float64
 	for _, v := range test.Targets.Data {
 		if a := math.Abs(v); a > maxField {
@@ -151,9 +198,9 @@ func run(data, out, arch string, hidden, layers, ch1, ch2, blocks,
 	if err != nil {
 		return err
 	}
-	if err := core.SaveModelFile(solver, ds.Cells, out); err != nil {
+	if err := core.SaveModelFile(solver, ds.Cells, o.out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("wrote %s\n", o.out)
 	return nil
 }

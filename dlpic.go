@@ -65,6 +65,7 @@ package dlpic
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"dlpic/internal/batch"
@@ -77,6 +78,7 @@ import (
 	"dlpic/internal/pic"
 	"dlpic/internal/rng"
 	"dlpic/internal/sweep"
+	"dlpic/internal/tensor"
 	"dlpic/internal/theory"
 	"dlpic/internal/vlasov"
 )
@@ -117,7 +119,23 @@ type (
 	History = nn.History
 	// Metrics are the Table-I error statistics (MAE, max error).
 	Metrics = nn.Metrics
+	// TrainCheckpoint configures epoch-granular training checkpoints:
+	// set it as TrainConfig.Checkpoint and every Every-th epoch the
+	// full training state (weights, optimizer moments, shuffle cursor,
+	// history) is written atomically to Path; ResumeTraining continues
+	// a killed fit from it bit-identically.
+	TrainCheckpoint = nn.Checkpoint
+	// Optimizer updates network parameters from their gradients.
+	Optimizer = nn.Optimizer
 )
+
+// NewAdam returns the paper's Adam optimizer (lr <= 0 selects the
+// paper's 1e-4). Adam, SGD and Momentum state all survive training
+// checkpoints.
+func NewAdam(lr float64) Optimizer { return nn.NewAdam(lr) }
+
+// MSELoss returns the mean-squared-error training loss (the paper's).
+func MSELoss() nn.Loss { return nn.MSE{} }
 
 // DefaultConfig returns the paper's §III configuration: 64 cells,
 // L = 2*pi/3.06, dt = 0.2, 1000 electrons/cell, v0 = 0.2, vth = 0.025.
@@ -311,6 +329,46 @@ func TrainSolver(arch SolverOpts, train, val *Dataset, tc TrainConfig) (*NNSolve
 	return solver, hist, nil
 }
 
+// FitCheckpointed trains net on a normalized corpus with epoch-granular
+// checkpointing: tc.Checkpoint.Path must be set, and after every
+// tc.Checkpoint.Every-th epoch the complete training state is written
+// atomically there. A fit killed at any epoch and continued with
+// ResumeTraining produces bit-identical final weights and History to
+// an uninterrupted one, at any tc.Workers value. val may be nil.
+func FitCheckpointed(net *Network, train, val *Dataset, tc TrainConfig) (History, error) {
+	if tc.Checkpoint.Path == "" {
+		return History{}, fmt.Errorf("dlpic: FitCheckpointed needs TrainConfig.Checkpoint.Path")
+	}
+	if !train.Normalized {
+		return History{}, fmt.Errorf("dlpic: training corpus must be normalized first")
+	}
+	xv, yv := valTensors(val)
+	return nn.Fit(net, train.Inputs, train.Targets, xv, yv, tc)
+}
+
+// ResumeTraining continues a fit interrupted mid-training from
+// tc.Checkpoint.Path: the network, optimizer state, shuffle cursor and
+// history are restored from the checkpoint and training runs on to
+// tc.Epochs (which may exceed the interrupted run's — it is the
+// training target, not part of the checkpoint's identity). Everything
+// else must match the interrupted run; a mismatch is caught by the
+// checkpoint fingerprint and returned as an error.
+func ResumeTraining(train, val *Dataset, tc TrainConfig) (*Network, History, error) {
+	if !train.Normalized {
+		return nil, History{}, fmt.Errorf("dlpic: training corpus must be normalized first")
+	}
+	xv, yv := valTensors(val)
+	return nn.ResumeFit(train.Inputs, train.Targets, xv, yv, tc)
+}
+
+// valTensors unpacks an optional validation partition.
+func valTensors(val *Dataset) (x, y *tensor.Tensor) {
+	if val == nil {
+		return nil, nil
+	}
+	return val.Inputs, val.Targets
+}
+
 // WrapSolver wraps a network with its preprocessing contract (binning
 // spec and normalizer fixed at training time) as a deployable DL field
 // solver for a grid of cells cells. TrainSolver does this implicitly;
@@ -417,6 +475,15 @@ func CampaignDigest(results []SweepResult) string {
 	return campaign.Digest(results)
 }
 
+// CampaignArtifactDir returns the canonical directory for persistent
+// training artifacts (trained model bundles, epoch-granular training
+// checkpoints) attached to a campaign journal: "<journalPath>.artifacts".
+// The journal owns results; the artifact directory owns the expensive
+// training stages that produce them, and the two survive independently.
+func CampaignArtifactDir(journalPath string) string {
+	return campaign.ArtifactDir(journalPath)
+}
+
 // NewBatchedSolver starts a batched inference backend around a trained
 // solver's network: set the result as the Batcher of a SweepMethodSpec
 // registry entry and that method's field solves are stacked into shared
@@ -452,6 +519,14 @@ func TheoreticalGrowthRate(cfg Config) float64 {
 	k := 2 * math.Pi * float64(cfg.DiagMode) / cfg.Length
 	return ts.GrowthRate(k)
 }
+
+// SaveNetwork writes a bare network's architecture and weights to w;
+// LoadNetwork restores it bit-identically. Use SaveSolver for the
+// deployable bundle that also carries the preprocessing contract.
+func SaveNetwork(net *Network, w io.Writer) error { return nn.Save(net, w) }
+
+// LoadNetwork reads a network saved with SaveNetwork.
+func LoadNetwork(r io.Reader) (*Network, error) { return nn.Load(r) }
 
 // SaveSolver and LoadSolver persist a deployable solver bundle
 // (architecture, weights, normalizer, binning spec).

@@ -29,6 +29,16 @@
 // Spec.MaxAttempts is reached; after that the recorded failure is
 // final and the cell is restored as failed, so a permanently broken
 // scenario cannot wedge a campaign in a retry loop.
+//
+// Artifacts. The journal owns *results* — one line per completed cell.
+// The expensive stages that produce results (model training) own their
+// own persistence: trained solver bundles and in-flight training
+// checkpoints live in the journal's artifact directory (ArtifactDir),
+// keyed by training fingerprints the experiments pipeline computes.
+// The two survive independently by design: deleting the journal forces
+// every cell to re-run but a surviving artifact directory still spares
+// retraining, while deleting the artifacts forces a (deterministic)
+// retrain but journaled cells still restore bit-identically.
 package campaign
 
 import (
@@ -210,6 +220,13 @@ func Resume(path string, spec Spec) ([]sweep.Result, error) {
 	}
 	return Run(path, spec)
 }
+
+// ArtifactDir returns the canonical directory for persistent artifacts
+// attached to the journal at path: "<path>.artifacts". Trained model
+// bundles and epoch-granular training checkpoints are stored there
+// (see experiments.Options.BundleDir), next to — but owned separately
+// from — the journal itself.
+func ArtifactDir(path string) string { return path + ".artifacts" }
 
 // Digest returns a short hex digest over the physics payload of a
 // result set — every field except the wall-clock Elapsed, which is the

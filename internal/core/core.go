@@ -304,6 +304,15 @@ type modelBundle struct {
 
 const bundleVersion = 1
 
+// init pins the bundle's process-global gob type id (see the matching
+// init in internal/nn): encoding a zero bundle at package init makes
+// SaveModel's output byte-identical across processes regardless of
+// what they gob-encoded or decoded before — the property the CI
+// smoke's byte-diff of resumed vs uninterrupted bundles relies on.
+func init() {
+	_ = gob.NewEncoder(io.Discard).Encode(modelBundle{})
+}
+
 // SaveModel writes a complete, reloadable solver bundle.
 func SaveModel(s *NNSolver, cells int, w io.Writer) error {
 	var netBuf bytes.Buffer

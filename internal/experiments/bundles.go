@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dlpic/internal/core"
+	"dlpic/internal/dataset"
+	"dlpic/internal/nn"
+	"dlpic/internal/phasespace"
+	"dlpic/internal/pic"
+	"dlpic/internal/tensor"
+)
+
+// Trained-model persistence. A DL campaign spends almost all of its
+// wall clock training, so trained solvers are treated as persistent
+// artifacts: when Options.BundleDir is set, every trained solver is
+// saved there as a model bundle keyed by its *training fingerprint*,
+// and a later pipeline build with the same fingerprint reloads the
+// bundle instead of retraining (zero training epochs). While a fit is
+// in flight, an epoch-granular nn training checkpoint lives next to
+// the bundle under the same key, so a killed campaign resumes
+// mid-training rather than from scratch.
+//
+// The fingerprint covers everything the trained weights depend on: the
+// corpus definition (base PIC config fingerprint, sweep axes, binning
+// spec, generation seed), the pipeline seed that drives the shuffle
+// and split, the network architecture, and the training configuration
+// (epochs, batch size, optimizer and loss hyper-parameters, training
+// seed, clip norm, shard override). Worker counts and logging are
+// excluded — the training engine's determinism contract makes weights
+// bit-identical at any of their values. Any other change produces a
+// different key, so a stale bundle is simply never found; it can't be
+// mistaken for current work.
+
+// trainIdentity is the gob-hashed payload behind a training
+// fingerprint. Field order matters only for the hash, which is fine:
+// the struct is never persisted, only hashed in-process.
+type trainIdentity struct {
+	// CorpusBaseKey fingerprints the base PIC configuration the corpus
+	// sweep runs (pic.ConfigKey — the campaign journal's own keying).
+	CorpusBaseKey string
+	V0s, Vths     []float64
+	Repeats       int
+	Steps         int
+	SampleEvery   int
+	Spec          phasespace.GridSpec
+	CorpusSeed    uint64
+	// PipelineSeed drives the corpus shuffle and split.
+	PipelineSeed uint64
+	// Arch describes the network architecture (config struct dump).
+	Arch string
+	// Training configuration identity (Epochs included: a bundle is a
+	// *finished* artifact, unlike an nn checkpoint, so the epoch budget
+	// is part of what it is).
+	Epochs    int
+	BatchSize int
+	Optimizer string
+	Loss      string
+	TrainSeed uint64
+	ClipNorm  float64
+	Shards    int
+}
+
+// trainKey fingerprints one solver's training run: corpus definition +
+// architecture + training configuration.
+func trainKey(sweep dataset.GenerateOpts, pipelineSeed uint64, arch any, tc nn.TrainConfig) (string, error) {
+	baseKey, err := pic.ConfigKey(sweep.Base)
+	if err != nil {
+		return "", err
+	}
+	id := trainIdentity{
+		CorpusBaseKey: baseKey,
+		V0s:           sweep.V0s,
+		Vths:          sweep.Vths,
+		Repeats:       sweep.Repeats,
+		Steps:         sweep.Steps,
+		SampleEvery:   sweep.SampleEvery,
+		Spec:          sweep.Spec,
+		CorpusSeed:    sweep.Seed,
+		PipelineSeed:  pipelineSeed,
+		Arch:          fmt.Sprintf("%T%+v", arch, arch),
+		Epochs:        tc.Epochs,
+		BatchSize:     tc.BatchSize,
+		Optimizer:     nn.OptimizerDesc(tc.Optimizer),
+		Loss:          fmt.Sprintf("%T|%+v", tc.Loss, tc.Loss),
+		TrainSeed:     tc.Seed,
+		ClipNorm:      tc.ClipNorm,
+		Shards:        tc.Shards,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(id); err != nil {
+		return "", fmt.Errorf("experiments: fingerprint training: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// bundleStore resolves fingerprint-keyed artifact paths under one
+// directory and loads/saves solver bundles with logged fallbacks.
+type bundleStore struct {
+	dir  string
+	logf func(format string, args ...any)
+}
+
+// bundlePath is the persisted model bundle of one (solver name, key).
+func (s *bundleStore) bundlePath(name, key string) string {
+	return filepath.Join(s.dir, name+"-"+key+".dlpic")
+}
+
+// ckptPath is the in-flight training checkpoint of one (name, key).
+func (s *bundleStore) ckptPath(name, key string) string {
+	return filepath.Join(s.dir, name+"-"+key+".ckpt")
+}
+
+// load returns the persisted solver for (name, key) when a structurally
+// valid bundle with matching shapes exists. A missing file means a
+// fresh or stale fingerprint — silently retrain. A present-but-corrupt
+// bundle (truncated file, bad payload, wrong shapes) is logged with the
+// reason and also falls back to retraining; it is never an error.
+func (s *bundleStore) load(name, key string, spec phasespace.GridSpec, cells int) (*core.NNSolver, bool) {
+	path := s.bundlePath(name, key)
+	solver, err := core.LoadModelFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("[%s] bundle %s unusable (%v); retraining", name, path, err)
+		}
+		return nil, false
+	}
+	if solver.Net.InDim != spec.Size() || solver.Net.OutDim() != cells {
+		s.logf("[%s] bundle %s is %dx%d, pipeline wants %dx%d; retraining",
+			name, path, solver.Net.InDim, solver.Net.OutDim(), spec.Size(), cells)
+		return nil, false
+	}
+	return solver, true
+}
+
+// save persists a freshly trained solver under (name, key) and retires
+// the training checkpoint that produced it — the bundle supersedes it.
+// The write is atomic (tmp + rename, the checkpoint writer's pattern):
+// a kill mid-save leaves no bundle rather than a truncated one at the
+// canonical key path. Persistence failures are logged, not fatal: the
+// in-memory pipeline is already complete.
+func (s *bundleStore) save(name, key string, solver *core.NNSolver, cells int) {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		s.logf("[%s] bundle dir %s: %v (not persisted)", name, s.dir, err)
+		return
+	}
+	path := s.bundlePath(name, key)
+	tmp := path + ".tmp"
+	if err := writeBundle(solver, cells, tmp); err != nil {
+		s.logf("[%s] persist bundle %s: %v", name, path, err)
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.logf("[%s] install bundle %s: %v", name, path, err)
+		os.Remove(tmp)
+		return
+	}
+	s.logf("[%s] persisted bundle %s", name, path)
+	os.Remove(s.ckptPath(name, key))
+	os.Remove(s.ckptPath(name, key) + ".tmp")
+}
+
+// trainSolver produces one trained solver, going through the bundle
+// store when one is configured: a persisted bundle with the same
+// training fingerprint is reloaded (zero training epochs, empty
+// History), otherwise training runs with an epoch-granular checkpoint
+// under the same key — resuming a fit an interrupted build left
+// behind — and the finished solver is persisted for the next build.
+// With store == nil this is exactly the old train-from-scratch path.
+func (p *Pipeline) trainSolver(store *bundleStore, name string, sweep dataset.GenerateOpts, ds *dataset.Dataset,
+	arch any, build func() (*nn.Network, error), tc nn.TrainConfig) (*core.NNSolver, nn.History, error) {
+	key := ""
+	if store != nil {
+		var err error
+		key, err = trainKey(sweep, p.Opts.Seed, arch, tc)
+		if err != nil {
+			p.logf("[%s] training fingerprint failed (%v); bundle persistence disabled", name, err)
+			store = nil
+		}
+	}
+	if store != nil {
+		if solver, ok := store.load(name, key, p.Spec, p.Cfg.Cells); ok {
+			p.logf("[%s] reusing persisted bundle %s (0 training epochs)", name, store.bundlePath(name, key))
+			return solver, nn.History{}, nil
+		}
+		// Cadence ~10% of the budget bounds a kill's lost work without
+		// serializing the full training state (weights + both Adam
+		// moment vectors, fsynced) after every one of a paper-scale
+		// run's 100-150 epochs; small budgets still checkpoint each
+		// epoch.
+		tc.Checkpoint = nn.Checkpoint{Path: store.ckptPath(name, key), Every: max(1, tc.Epochs/10)}
+		if err := os.MkdirAll(store.dir, 0o755); err != nil {
+			return nil, nn.History{}, fmt.Errorf("experiments: bundle dir %s: %w", store.dir, err)
+		}
+	}
+	net, hist, err := fitWithCheckpoint(build, p.Train.Inputs, p.Train.Targets, p.Val.Inputs, p.Val.Targets, tc, p.logf)
+	if err != nil {
+		return nil, hist, err
+	}
+	solver, err := core.NewNNSolver(net, p.Spec, ds.Norm, p.Cfg.Cells)
+	if err != nil {
+		return nil, hist, err
+	}
+	if store != nil {
+		store.save(name, key, solver, p.Cfg.Cells)
+	}
+	return solver, hist, nil
+}
+
+// writeBundle encodes one solver bundle with the durability half of
+// the atomic-write pattern (encode, fsync, close) — save renames it
+// into place afterwards, so a crash at any point leaves either no
+// bundle or a fully durable one at the canonical key path.
+func writeBundle(solver *core.NNSolver, cells int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveModel(solver, cells, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fitWithCheckpoint trains a fresh network (built by build) under tc,
+// first attempting to resume the epoch-checkpointed fit at
+// tc.Checkpoint.Path when an interrupted run left one. An unusable
+// checkpoint — corrupt, truncated, or written by a different training
+// configuration — is logged and ignored; training restarts clean and
+// overwrites it at the first cadence point.
+func fitWithCheckpoint(build func() (*nn.Network, error), x, y, xVal, yVal *tensor.Tensor, tc nn.TrainConfig,
+	logf func(format string, args ...any)) (*nn.Network, nn.History, error) {
+	if tc.Checkpoint.Path != "" {
+		if _, err := os.Stat(tc.Checkpoint.Path); err == nil {
+			net, hist, err := nn.ResumeFit(x, y, xVal, yVal, tc)
+			if err == nil {
+				return net, hist, nil
+			}
+			// Only a fault in the checkpoint itself licenses a retrain;
+			// a failure in the resumed training run (disk full writing
+			// the next checkpoint, non-finite loss) would deterministically
+			// recur from scratch, so propagate it unrelabelled.
+			if !errors.Is(err, nn.ErrCheckpointUnusable) {
+				return nil, hist, err
+			}
+			logf("[train] checkpoint %s unusable (%v); retraining from scratch", tc.Checkpoint.Path, err)
+		}
+	}
+	net, err := build()
+	if err != nil {
+		return nil, nn.History{}, err
+	}
+	hist, err := nn.Fit(net, x, y, xVal, yVal, tc)
+	return net, hist, err
+}

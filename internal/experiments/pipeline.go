@@ -49,6 +49,21 @@ type Options struct {
 	// the directory instead of training (corpus generation still runs —
 	// it is cheap and Table I needs the test partitions).
 	LoadModels string
+	// BundleDir, when non-empty, makes training resumable and
+	// reusable: trained solvers are persisted there as model bundles
+	// keyed by their training fingerprint (corpus definition +
+	// architecture + training configuration), a matching bundle is
+	// reloaded instead of retrained (zero training epochs), and while
+	// a fit is in flight an epoch-granular nn training checkpoint
+	// under the same key lets an interrupted build resume
+	// mid-training. Stale or corrupt artifacts fall back to a clean
+	// retrain with a logged reason. Campaigns point this at the
+	// journal's artifact directory (campaign.ArtifactDir). Unlike
+	// LoadModels, reuse is fingerprint-checked — a bundle trained
+	// under different settings is never picked up. LoadModels takes
+	// precedence: with it set, training is bypassed and the bundle
+	// store is never consulted.
+	BundleDir string
 	// TrainWorkers is the data-parallel worker count of the sharded
 	// training engine (0 = GOMAXPROCS). Trained weights, losses and
 	// histories are bit-identical for any value.
@@ -234,6 +249,11 @@ func New(opts Options) (*Pipeline, error) {
 		return p, p.loadModels(opts.LoadModels)
 	}
 
+	var store *bundleStore
+	if opts.BundleDir != "" {
+		store = &bundleStore{dir: opts.BundleDir, logf: p.logf}
+	}
+
 	// --- MLP -------------------------------------------------------------
 	mlpArch := nn.MLPConfig{InDim: p.Spec.Size(), OutDim: p.Cfg.Cells, Hidden: 192, HiddenLayers: 3}
 	mlpEpochs, cnnEpochs := 60, 25
@@ -250,13 +270,15 @@ func New(opts Options) (*Pipeline, error) {
 		mlpArch.Hidden = 32
 		mlpEpochs, cnnEpochs = 10, 4
 	}
-	mlpNet, err := nn.NewMLP(mlpArch, rng.New(opts.Seed+2))
-	if err != nil {
-		return nil, err
-	}
-	p.logf("[mlp] %s", mlpNet.Summary())
 	start = time.Now()
-	p.MLPHistory, err = nn.Fit(mlpNet, p.Train.Inputs, p.Train.Targets, p.Val.Inputs, p.Val.Targets,
+	p.MLP, p.MLPHistory, err = p.trainSolver(store, "mlp", sweep, ds, mlpArch,
+		func() (*nn.Network, error) {
+			net, err := nn.NewMLP(mlpArch, rng.New(opts.Seed+2))
+			if err == nil {
+				p.logf("[mlp] %s", net.Summary())
+			}
+			return net, err
+		},
 		nn.TrainConfig{
 			Epochs: mlpEpochs, BatchSize: 64, Optimizer: nn.NewAdam(lr),
 			Loss: nn.MSE{}, Seed: opts.Seed + 3, Log: opts.Log, LogEvery: 5,
@@ -266,10 +288,8 @@ func New(opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("experiments: MLP training: %w", err)
 	}
 	p.MLPTrainTime = time.Since(start)
-	p.logf("[mlp] trained in %v (val MAE %.3g)", p.MLPTrainTime.Round(time.Second), p.MLPHistory.Final().ValMAE)
-	p.MLP, err = core.NewNNSolver(mlpNet, p.Spec, ds.Norm, p.Cfg.Cells)
-	if err != nil {
-		return nil, err
+	if n := len(p.MLPHistory.Epochs); n > 0 {
+		p.logf("[mlp] trained in %v (val MAE %.3g)", p.MLPTrainTime.Round(time.Second), p.MLPHistory.Final().ValMAE)
 	}
 
 	// --- CNN -------------------------------------------------------------
@@ -284,13 +304,15 @@ func New(opts Options) (*Pipeline, error) {
 		case ScaleTiny:
 			cnnArch.Channels1, cnnArch.Channels2, cnnArch.Hidden = 2, 2, 32
 		}
-		cnnNet, err := nn.NewCNN(cnnArch, rng.New(opts.Seed+4))
-		if err != nil {
-			return nil, err
-		}
-		p.logf("[cnn] %s", cnnNet.Summary())
 		start = time.Now()
-		p.CNNHistory, err = nn.Fit(cnnNet, p.Train.Inputs, p.Train.Targets, p.Val.Inputs, p.Val.Targets,
+		p.CNN, p.CNNHistory, err = p.trainSolver(store, "cnn", sweep, ds, cnnArch,
+			func() (*nn.Network, error) {
+				net, err := nn.NewCNN(cnnArch, rng.New(opts.Seed+4))
+				if err == nil {
+					p.logf("[cnn] %s", net.Summary())
+				}
+				return net, err
+			},
 			nn.TrainConfig{
 				Epochs: cnnEpochs, BatchSize: 64, Optimizer: nn.NewAdam(lr),
 				Loss: nn.MSE{}, Seed: opts.Seed + 5, Log: opts.Log, LogEvery: 5,
@@ -300,12 +322,9 @@ func New(opts Options) (*Pipeline, error) {
 			return nil, fmt.Errorf("experiments: CNN training: %w", err)
 		}
 		p.CNNTrainTime = time.Since(start)
-		p.logf("[cnn] trained in %v (val MAE %.3g)", p.CNNTrainTime.Round(time.Second), p.CNNHistory.Final().ValMAE)
-		p.CNN, err = core.NewNNSolver(cnnNet, p.Spec, ds.Norm, p.Cfg.Cells)
-		if err != nil {
-			return nil, err
+		if n := len(p.CNNHistory.Epochs); n > 0 {
+			p.logf("[cnn] trained in %v (val MAE %.3g)", p.CNNTrainTime.Round(time.Second), p.CNNHistory.Final().ValMAE)
 		}
-		p.CNN.Net = cnnNet
 	}
 	if opts.ModelDir != "" {
 		if err := os.MkdirAll(opts.ModelDir, 0o755); err != nil {

@@ -106,6 +106,150 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// optimizerState is the serializable snapshot of an optimizer's
+// per-parameter state, with slot vectors in Params() order (the order
+// is a pure function of the network architecture, so a snapshot taken
+// against one Network restores against any architecturally identical
+// one). Fields are exported for gob; the type itself stays package
+// private — it only ever crosses a training checkpoint file.
+type optimizerState struct {
+	// Kind names the optimizer implementation ("sgd", "momentum",
+	// "adam"); restore refuses a mismatched kind.
+	Kind string
+	// Step is the global step counter (Adam's bias-correction t).
+	Step int
+	// Vecs holds the per-parameter state vectors: none for SGD, one per
+	// parameter for Momentum (velocity), two per parameter for Adam
+	// (first and second moment, interleaved m0,v0,m1,v1,...).
+	Vecs [][]float64
+}
+
+// optimizerCheckpointer is implemented by optimizers whose state can
+// round-trip through a training checkpoint. Fit refuses to checkpoint
+// with an optimizer that does not implement it — silently dropping
+// moment estimates would make a resumed fit diverge from an
+// uninterrupted one.
+type optimizerCheckpointer interface {
+	captureState(params []*Param) optimizerState
+	restoreState(params []*Param, st optimizerState) error
+}
+
+// checkKind validates the snapshot header shared by all restores.
+func (st optimizerState) checkKind(kind string, params []*Param, vecsPerParam int) error {
+	if st.Kind != kind {
+		return fmt.Errorf("nn: checkpoint optimizer state is %q, configured optimizer is %q", st.Kind, kind)
+	}
+	if len(st.Vecs) != vecsPerParam*len(params) {
+		return fmt.Errorf("nn: %s state has %d vectors, network wants %d", kind, len(st.Vecs), vecsPerParam*len(params))
+	}
+	return nil
+}
+
+// stateVec copies the per-parameter state tensor keyed by w (zeros when
+// the optimizer never touched it, which cannot happen after a full
+// epoch but keeps capture total).
+func stateVec(m map[*tensor.Tensor]*tensor.Tensor, w *tensor.Tensor) []float64 {
+	if t, ok := m[w]; ok {
+		return append([]float64(nil), t.Data...)
+	}
+	return make([]float64, w.Len())
+}
+
+// restoreVec validates one snapshot vector and installs it as a state
+// tensor shaped like w.
+func restoreVec(m map[*tensor.Tensor]*tensor.Tensor, w *tensor.Tensor, vec []float64, kind string, i int) error {
+	if len(vec) != w.Len() {
+		return fmt.Errorf("nn: %s state vector %d has %d entries, parameter wants %d", kind, i, len(vec), w.Len())
+	}
+	t := tensor.New(w.Shape...)
+	copy(t.Data, vec)
+	m[w] = t
+	return nil
+}
+
+// captureState implements optimizerCheckpointer. SGD is stateless; the
+// snapshot records only the kind.
+func (s *SGD) captureState([]*Param) optimizerState { return optimizerState{Kind: "sgd"} }
+
+// restoreState implements optimizerCheckpointer.
+func (s *SGD) restoreState(params []*Param, st optimizerState) error {
+	return st.checkKind("sgd", params, 0)
+}
+
+// captureState implements optimizerCheckpointer: one velocity vector
+// per parameter, Params() order.
+func (m *Momentum) captureState(params []*Param) optimizerState {
+	st := optimizerState{Kind: "momentum", Vecs: make([][]float64, 0, len(params))}
+	for _, p := range params {
+		st.Vecs = append(st.Vecs, stateVec(m.vel, p.W))
+	}
+	return st
+}
+
+// restoreState implements optimizerCheckpointer.
+func (m *Momentum) restoreState(params []*Param, st optimizerState) error {
+	if err := st.checkKind("momentum", params, 1); err != nil {
+		return err
+	}
+	vel := make(map[*tensor.Tensor]*tensor.Tensor, len(params))
+	for i, p := range params {
+		if err := restoreVec(vel, p.W, st.Vecs[i], "momentum", i); err != nil {
+			return err
+		}
+	}
+	m.vel = vel
+	return nil
+}
+
+// captureState implements optimizerCheckpointer: the step counter plus
+// interleaved first/second-moment vectors, Params() order.
+func (a *Adam) captureState(params []*Param) optimizerState {
+	st := optimizerState{Kind: "adam", Step: a.t, Vecs: make([][]float64, 0, 2*len(params))}
+	for _, p := range params {
+		st.Vecs = append(st.Vecs, stateVec(a.m, p.W), stateVec(a.v, p.W))
+	}
+	return st
+}
+
+// restoreState implements optimizerCheckpointer.
+func (a *Adam) restoreState(params []*Param, st optimizerState) error {
+	if err := st.checkKind("adam", params, 2); err != nil {
+		return err
+	}
+	if st.Step < 0 {
+		return fmt.Errorf("nn: adam state has negative step %d", st.Step)
+	}
+	m := make(map[*tensor.Tensor]*tensor.Tensor, len(params))
+	v := make(map[*tensor.Tensor]*tensor.Tensor, len(params))
+	for i, p := range params {
+		if err := restoreVec(m, p.W, st.Vecs[2*i], "adam", 2*i); err != nil {
+			return err
+		}
+		if err := restoreVec(v, p.W, st.Vecs[2*i+1], "adam", 2*i+1); err != nil {
+			return err
+		}
+	}
+	a.t, a.m, a.v = st.Step, m, v
+	return nil
+}
+
+// OptimizerDesc fingerprints the full hyper-parameter set of an
+// optimizer for checkpoint and bundle identity checks — unlike Name,
+// it covers every constant the update rule uses (Adam's betas and
+// epsilon drift the trajectory just as surely as the learning rate).
+func OptimizerDesc(o Optimizer) string {
+	switch v := o.(type) {
+	case *SGD:
+		return fmt.Sprintf("sgd(lr=%g)", v.LR)
+	case *Momentum:
+		return fmt.Sprintf("momentum(lr=%g,mu=%g)", v.LR, v.Mu)
+	case *Adam:
+		return fmt.Sprintf("adam(lr=%g,b1=%g,b2=%g,eps=%g)", v.LR, v.Beta1, v.Beta2, v.Eps)
+	default:
+		return fmt.Sprintf("%T|%s", o, o.Name())
+	}
+}
+
 // ClipGradNorm scales all gradients so their global L2 norm does not
 // exceed maxNorm; returns the pre-clip norm. No-op for maxNorm <= 0.
 func ClipGradNorm(params []*Param, maxNorm float64) float64 {

@@ -102,25 +102,24 @@ func layerOf(s layerSpec) (Layer, error) {
 	}
 }
 
-// Save writes the network architecture and weights to w.
-func Save(net *Network, w io.Writer) error {
+// netToFile snapshots a network's architecture and weights as the
+// serializable netFile payload shared by the model format (Save) and
+// the training-checkpoint format (internal/nn checkpoints).
+func netToFile(net *Network) (netFile, error) {
 	file := netFile{Version: fileVersion, InDim: net.InDim}
 	for _, l := range net.Layers {
 		s, err := specOf(l)
 		if err != nil {
-			return err
+			return netFile{}, err
 		}
 		file.Layers = append(file.Layers, s)
 	}
-	return gob.NewEncoder(w).Encode(file)
+	return file, nil
 }
 
-// Load reads a network saved with Save.
-func Load(r io.Reader) (*Network, error) {
-	var file netFile
-	if err := gob.NewDecoder(r).Decode(&file); err != nil {
-		return nil, fmt.Errorf("nn: decode model: %w", err)
-	}
+// netFromFile reconstructs a network from a netFile payload; the
+// result is bit-identical to the snapshotted one.
+func netFromFile(file netFile) (*Network, error) {
 	if file.Version != fileVersion {
 		return nil, fmt.Errorf("nn: unsupported model version %d", file.Version)
 	}
@@ -133,6 +132,24 @@ func Load(r io.Reader) (*Network, error) {
 		layers = append(layers, l)
 	}
 	return NewNetwork(file.InDim, layers...)
+}
+
+// Save writes the network architecture and weights to w.
+func Save(net *Network, w io.Writer) error {
+	file, err := netToFile(net)
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(file)
+}
+
+// Load reads a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var file netFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("nn: decode model: %w", err)
+	}
+	return netFromFile(file)
 }
 
 // Clone returns a deep copy of the network: same architecture,

@@ -40,6 +40,13 @@ type TrainConfig struct {
 	// the gradient reduction — it is part of the training configuration
 	// the way BatchSize is, not part of the execution environment.
 	Shards int
+	// Checkpoint, when its Path is set, makes the fit resumable:
+	// after every Checkpoint.Every-th epoch the full training state
+	// (weights, optimizer moments, RNG/shuffle cursor, History) is
+	// written atomically to Checkpoint.Path, and ResumeFit continues
+	// from it bit-identically. Requires an optimizer whose state can
+	// be serialized (SGD, Momentum, Adam).
+	Checkpoint Checkpoint
 }
 
 // Auto shard sizing: one shard per trainShardRows batch rows, capped at
@@ -218,17 +225,8 @@ func (e *shardEngine) runShard(rep *replica, x, y *tensor.Tensor, rows []int, to
 // Training runs on the sharded data-parallel engine; see
 // TrainConfig.Workers for the determinism contract.
 func Fit(net *Network, x, y, xVal, yVal *tensor.Tensor, cfg TrainConfig) (History, error) {
-	if cfg.Epochs <= 0 {
-		return History{}, fmt.Errorf("nn: Epochs = %d, need > 0", cfg.Epochs)
-	}
-	if cfg.BatchSize <= 0 {
-		return History{}, fmt.Errorf("nn: BatchSize = %d, need > 0", cfg.BatchSize)
-	}
-	if cfg.Optimizer == nil || cfg.Loss == nil {
-		return History{}, fmt.Errorf("nn: Optimizer and Loss are required")
-	}
-	if x.Rows() != y.Rows() {
-		return History{}, fmt.Errorf("nn: sample count mismatch x=%d y=%d", x.Rows(), y.Rows())
+	if err := validateFit(x, y, xVal, yVal, cfg); err != nil {
+		return History{}, err
 	}
 	if x.Cols() != net.InDim {
 		return History{}, fmt.Errorf("nn: input width %d, network wants %d", x.Cols(), net.InDim)
@@ -236,33 +234,68 @@ func Fit(net *Network, x, y, xVal, yVal *tensor.Tensor, cfg TrainConfig) (Histor
 	if y.Cols() != net.OutDim() {
 		return History{}, fmt.Errorf("nn: target width %d, network outputs %d", y.Cols(), net.OutDim())
 	}
+	perm := make([]int, x.Rows())
+	for i := range perm {
+		perm[i] = i
+	}
+	fp := ""
+	if cfg.Checkpoint.enabled() {
+		fp = trainFingerprint(x, y, xVal, yVal, cfg)
+	}
+	return fitLoop(net, x, y, xVal, yVal, cfg, 0, rng.New(cfg.Seed), perm, History{}, fp)
+}
+
+// validateFit checks the configuration and data shapes shared by Fit
+// and ResumeFit (network-dependent checks stay with the callers —
+// ResumeFit only has a network after loading the checkpoint).
+func validateFit(x, y, xVal, yVal *tensor.Tensor, cfg TrainConfig) error {
+	if cfg.Epochs <= 0 {
+		return fmt.Errorf("nn: Epochs = %d, need > 0", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		return fmt.Errorf("nn: BatchSize = %d, need > 0", cfg.BatchSize)
+	}
+	if cfg.Optimizer == nil || cfg.Loss == nil {
+		return fmt.Errorf("nn: Optimizer and Loss are required")
+	}
+	if cfg.Checkpoint.enabled() {
+		if _, ok := cfg.Optimizer.(optimizerCheckpointer); !ok {
+			return fmt.Errorf("nn: optimizer %T cannot be checkpointed (no serializable state)", cfg.Optimizer)
+		}
+	}
+	if x.Rows() != y.Rows() {
+		return fmt.Errorf("nn: sample count mismatch x=%d y=%d", x.Rows(), y.Rows())
+	}
 	if (xVal == nil) != (yVal == nil) {
-		return History{}, fmt.Errorf("nn: validation inputs and targets must both be set or both nil")
+		return fmt.Errorf("nn: validation inputs and targets must both be set or both nil")
 	}
+	if x.Rows() == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	return nil
+}
+
+// fitLoop runs epochs [start, cfg.Epochs) with the given shuffle state
+// and accumulated history — the shared engine behind Fit (start = 0,
+// fresh state) and ResumeFit (state restored from a checkpoint). perm
+// is owned by the loop; fingerprint is stamped into every checkpoint.
+func fitLoop(net *Network, x, y, xVal, yVal *tensor.Tensor, cfg TrainConfig,
+	start int, r *rng.Source, perm []int, hist History, fingerprint string) (History, error) {
 	nSamples := x.Rows()
-	if nSamples == 0 {
-		return History{}, fmt.Errorf("nn: empty training set")
-	}
 	bs := cfg.BatchSize
 	if bs > nSamples {
 		bs = nSamples
 	}
 	eng, err := newShardEngine(net, cfg.Loss, cfg.Workers, cfg.Shards, bs)
 	if err != nil {
-		return History{}, err
-	}
-	r := rng.New(cfg.Seed)
-	perm := make([]int, nSamples)
-	for i := range perm {
-		perm[i] = i
+		return hist, err
 	}
 	params := net.Params() // stable across batches; avoids per-batch rebuilds
 	logEvery := cfg.LogEvery
 	if logEvery <= 0 {
 		logEvery = 1
 	}
-	var hist History
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := start; epoch < cfg.Epochs; epoch++ {
 		r.Shuffle(nSamples, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		var epochLoss float64
 		var batches int
@@ -295,6 +328,23 @@ func Fit(net *Network, x, y, xVal, yVal *tensor.Tensor, cfg TrainConfig) (Histor
 					epoch+1, cfg.Epochs, stats.TrainLoss, stats.ValMAE, stats.ValMax)
 			} else {
 				fmt.Fprintf(cfg.Log, "epoch %3d/%d  loss %.6g\n", epoch+1, cfg.Epochs, stats.TrainLoss)
+			}
+		}
+		if cfg.Checkpoint.enabled() && cfg.Checkpoint.due(epoch, cfg.Epochs) {
+			file := ckptFile{
+				Version:     ckptVersion,
+				Fingerprint: fingerprint,
+				Epoch:       epoch + 1,
+				Opt:         cfg.Optimizer.(optimizerCheckpointer).captureState(params),
+				RNG:         r.Snapshot(),
+				Perm:        perm,
+				Hist:        hist,
+			}
+			if file.Net, err = netToFile(net); err != nil {
+				return hist, err
+			}
+			if err := writeCheckpoint(cfg.Checkpoint, file); err != nil {
+				return hist, err
 			}
 		}
 	}

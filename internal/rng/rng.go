@@ -9,7 +9,10 @@
 // from one seed without sharing mutable state.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // splitMix64 advances the 64-bit SplitMix64 state and returns the next
 // output. It is used both for seeding xoshiro and for stream splitting.
@@ -124,6 +127,39 @@ func (r *Source) NormFloat64() float64 {
 	r.hasSpare = true
 	return mag * math.Cos(2*math.Pi*u2)
 }
+
+// State is the serializable snapshot of a Source: the xoshiro256**
+// registers plus the cached Box-Muller spare. Restoring a snapshot
+// reproduces the original stream bit-identically, which is what lets
+// training checkpoints (internal/nn) freeze and resume the minibatch
+// shuffle cursor mid-campaign.
+type State struct {
+	// S holds the four xoshiro256** state words.
+	S [4]uint64
+	// Spare and HasSpare carry the cached second Box-Muller variate.
+	Spare    float64
+	HasSpare bool
+}
+
+// Snapshot returns the current state of r. The snapshot is a value
+// copy: advancing r afterwards does not perturb it.
+func (r *Source) Snapshot() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// FromState reconstructs a Source from a snapshot. The restored source
+// continues the original stream bit-identically. The all-zero xoshiro
+// state is unreachable from New and would lock the generator at zero,
+// so it is rejected as corrupt.
+func FromState(st State) (*Source, error) {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return nil, errAllZeroState
+	}
+	return &Source{s: st.S, spare: st.Spare, hasSpare: st.HasSpare}, nil
+}
+
+// errAllZeroState rejects snapshots no healthy Source can produce.
+var errAllZeroState = errors.New("rng: all-zero state snapshot (corrupt)")
 
 // Shuffle permutes the integers [0, n) with the Fisher-Yates algorithm,
 // calling swap(i, j) for each exchange.

@@ -184,3 +184,80 @@ func TestMul64(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotRestore_ContinuesStreamBitIdentically freezes a source
+// mid-stream (with a Box-Muller spare pending) and checks the restored
+// source continues the exact sequence, while the original keeps its own.
+func TestSnapshotRestore_ContinuesStreamBitIdentically(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	r.NormFloat64() // leave a spare cached so the snapshot carries it
+	st := r.Snapshot()
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.NormFloat64()
+	}
+	got, err := FromState(st)
+	if err != nil {
+		t.Fatalf("FromState: %v", err)
+	}
+	for i := range want {
+		if v := got.NormFloat64(); v != want[i] {
+			t.Fatalf("restored stream diverges at %d: %v != %v", i, v, want[i])
+		}
+	}
+	// The snapshot value is independent of the original's later use.
+	r2, err := FromState(st)
+	if err != nil {
+		t.Fatalf("FromState: %v", err)
+	}
+	if v := r2.NormFloat64(); v != want[0] {
+		t.Fatalf("snapshot not a value copy: %v != %v", v, want[0])
+	}
+}
+
+// TestSnapshotRestore_ShuffleCursor checks the training-checkpoint use
+// case: a shuffle sequence interrupted and resumed from a snapshot
+// produces the same permutations as an uninterrupted one.
+func TestSnapshotRestore_ShuffleCursor(t *testing.T) {
+	const n, epochs, cut = 37, 8, 3
+	full := New(7)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var wantFinal []int
+	for e := 0; e < epochs; e++ {
+		full.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	wantFinal = append(wantFinal, perm...)
+
+	part := New(7)
+	for i := range perm {
+		perm[i] = i
+	}
+	for e := 0; e < cut; e++ {
+		part.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	resumed, err := FromState(part.Snapshot())
+	if err != nil {
+		t.Fatalf("FromState: %v", err)
+	}
+	for e := cut; e < epochs; e++ {
+		resumed.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	for i := range perm {
+		if perm[i] != wantFinal[i] {
+			t.Fatalf("resumed shuffle diverges at %d", i)
+		}
+	}
+}
+
+// TestFromState_RejectsAllZero guards the corrupt-snapshot path.
+func TestFromState_RejectsAllZero(t *testing.T) {
+	if _, err := FromState(State{}); err == nil {
+		t.Fatal("FromState accepted the all-zero state")
+	}
+}
