@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-train bench bench-json smoke-campaign smoke-train docs ci
+.PHONY: all build test vet lint race race-train bench bench-json smoke-campaign smoke-train docs ci
 
 all: ci
 
@@ -15,13 +15,25 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race runs the packages with concurrent kernels, the sweep engine and
-# the campaign engine under the race detector.
+# lint runs the repo's own determinism/serialization static analyzers
+# (tools/determlint): nondeterministic inputs in internal packages,
+# map-order leaks into ordered sinks, raw concurrency outside the
+# sanctioned packages, order-dependent float folds, and unpinned
+# gob-serialized types. Suppressions need an in-source
+# `//determlint:ignore <analyzer> <reason>` directive.
+lint:
+	$(GO) run ./tools/determlint ./...
+
+# race runs every internal package that defines raw concurrency or
+# transitively imports one (the sweep, campaign and kernel packages)
+# under the race detector. The list is derived by determlint's
+# raw-concurrency classifier, not hand-maintained; internal/nn is
+# excluded because its concurrent shard workers are covered by the
+# focused race-train target below (the full nn suite is too slow under
+# -race).
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/interp/ ./internal/mover/ \
-		./internal/pic/ ./internal/pic2d/ ./internal/sweep/ ./internal/dataset/ \
-		./internal/tensor/ ./internal/vlasov/ ./internal/batch/ \
-		./internal/campaign/ ./internal/phasespace/
+	pkgs="$$($(GO) run ./tools/determlint -race-packages -race-exclude internal/nn ./...)" && \
+		$(GO) test -race $$pkgs
 
 # race-train runs the training-engine determinism property tests under
 # the race detector (the full nn suite is too slow under -race; these

@@ -309,6 +309,16 @@ type fileFormat struct {
 
 const fileVersion = 1
 
+// init pins fileFormat's process-global gob type id by encoding a zero
+// value to io.Discard at package init (see internal/nn/checkpoint.go):
+// without it, the bytes of a saved corpus would depend on what else
+// the process gob-(de)serialized first, and the byte-identical-corpora
+// property `datagen -workers` is tested for would only hold within a
+// single process history.
+func init() {
+	_ = gob.NewEncoder(io.Discard).Encode(fileFormat{})
+}
+
 // Save writes the dataset to w (gob, float32 payload).
 func (d *Dataset) Save(w io.Writer) error {
 	f := fileFormat{

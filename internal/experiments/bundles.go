@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -66,6 +67,17 @@ type trainIdentity struct {
 	TrainSeed uint64
 	ClipNorm  float64
 	Shards    int
+}
+
+// init pins trainIdentity's process-global gob type id by encoding a
+// zero value to io.Discard at package init (see
+// internal/nn/checkpoint.go): trainKey hashes the gob bytes of a
+// trainIdentity, and without pinning those bytes — and therefore every
+// training fingerprint keying the bundle store — would depend on what
+// else the process gob-(de)serialized first, so a resumed campaign
+// could miss the very bundles it persisted.
+func init() {
+	_ = gob.NewEncoder(io.Discard).Encode(trainIdentity{})
 }
 
 // trainKey fingerprints one solver's training run: corpus definition +

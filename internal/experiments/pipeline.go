@@ -213,12 +213,13 @@ func New(opts Options) (*Pipeline, error) {
 			p.logf("[gen]   %d/%d runs", done, total)
 		}
 	}
+	//determlint:ignore nondet GenTime is log-only stage telemetry; it never reaches a digest, journal or fingerprint
 	start := time.Now()
 	ds, err := dataset.Generate(sweep)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: corpus generation: %w", err)
 	}
-	p.GenTime = time.Since(start)
+	p.GenTime = time.Since(start) //determlint:ignore nondet GenTime is log-only telemetry
 	p.logf("[gen] %d samples in %v", ds.N(), p.GenTime.Round(time.Second))
 	if err := ds.Normalize(); err != nil {
 		return nil, err
@@ -270,6 +271,7 @@ func New(opts Options) (*Pipeline, error) {
 		mlpArch.Hidden = 32
 		mlpEpochs, cnnEpochs = 10, 4
 	}
+	//determlint:ignore nondet MLPTrainTime is log-only stage telemetry, never digested
 	start = time.Now()
 	p.MLP, p.MLPHistory, err = p.trainSolver(store, "mlp", sweep, ds, mlpArch,
 		func() (*nn.Network, error) {
@@ -287,7 +289,7 @@ func New(opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MLP training: %w", err)
 	}
-	p.MLPTrainTime = time.Since(start)
+	p.MLPTrainTime = time.Since(start) //determlint:ignore nondet MLPTrainTime is log-only telemetry
 	if n := len(p.MLPHistory.Epochs); n > 0 {
 		p.logf("[mlp] trained in %v (val MAE %.3g)", p.MLPTrainTime.Round(time.Second), p.MLPHistory.Final().ValMAE)
 	}
@@ -304,6 +306,7 @@ func New(opts Options) (*Pipeline, error) {
 		case ScaleTiny:
 			cnnArch.Channels1, cnnArch.Channels2, cnnArch.Hidden = 2, 2, 32
 		}
+		//determlint:ignore nondet CNNTrainTime is log-only stage telemetry, never digested
 		start = time.Now()
 		p.CNN, p.CNNHistory, err = p.trainSolver(store, "cnn", sweep, ds, cnnArch,
 			func() (*nn.Network, error) {
@@ -321,7 +324,7 @@ func New(opts Options) (*Pipeline, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: CNN training: %w", err)
 		}
-		p.CNNTrainTime = time.Since(start)
+		p.CNNTrainTime = time.Since(start) //determlint:ignore nondet CNNTrainTime is log-only telemetry
 		if n := len(p.CNNHistory.Epochs); n > 0 {
 			p.logf("[cnn] trained in %v (val MAE %.3g)", p.CNNTrainTime.Round(time.Second), p.CNNHistory.Final().ValMAE)
 		}

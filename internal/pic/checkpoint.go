@@ -32,6 +32,19 @@ type checkpointFile struct {
 
 const checkpointVersion = 1
 
+// init pins the process-global gob type ids of the types this package
+// serializes by encoding zero values to io.Discard in fixed order at
+// package init (the internal/nn checkpoint lesson: gob assigns ids at
+// a type's first encode or decode, so without pinning, checkpoint
+// bytes — and the ConfigKey fingerprints hashed from Config's gob
+// encoding, which key campaign journals and bundle stores — would
+// depend on what else the process (de)serialized first).
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	_ = enc.Encode(Config{})
+	_ = enc.Encode(checkpointFile{})
+}
+
 // SaveCheckpoint writes the full simulation state to w.
 func (s *Simulation) SaveCheckpoint(w io.Writer) error {
 	f := checkpointFile{

@@ -253,8 +253,9 @@ func Run(scenarios []Scenario, opts Options) []Result {
 // engine journals; calling it directly runs the cell inline.
 func RunScenario(sc Scenario, m MethodSpec, opts Options) (res Result) {
 	res = Result{Scenario: sc, Method: m.label()}
+	//determlint:ignore nondet Elapsed is wall-clock telemetry only; campaign.Digest and journal keys exclude it by contract
 	start := time.Now()
-	defer func() { res.Elapsed = time.Since(start) }()
+	defer func() { res.Elapsed = time.Since(start) }() //determlint:ignore nondet Elapsed is telemetry, excluded from digests
 	if err := m.Validate(); err != nil {
 		res.Err = fmt.Errorf("sweep: scenario %q: %w", sc.Name, err)
 		return res
@@ -440,8 +441,9 @@ func RunVlasov(scenarios []VlasovScenario, opts Options) []VlasovResult {
 
 func runOneVlasov(sc VlasovScenario, opts Options) (res VlasovResult) {
 	res = VlasovResult{Scenario: sc}
+	//determlint:ignore nondet Elapsed is wall-clock telemetry only; no digest or journal key folds it in
 	start := time.Now()
-	defer func() { res.Elapsed = time.Since(start) }()
+	defer func() { res.Elapsed = time.Since(start) }() //determlint:ignore nondet Elapsed is telemetry, excluded from digests
 	if sc.Steps < 1 {
 		res.Err = fmt.Errorf("sweep: vlasov scenario %q: Steps = %d, need >= 1", sc.Name, sc.Steps)
 		return res

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatfoldAnalyzer flags floating-point compound accumulation
+// (+=, -=, *=, /=) into a variable that outlives a channel-receiving
+// loop. Deliveries over a channel arrive in completion order, so the
+// float fold's association order — and with it the low bits of the
+// result — would depend on scheduling. This is precisely the bug class
+// parallel.OrderedFold and parallel.ReduceSums exist to prevent:
+// produce per-chunk partials and fold them in chunk order instead.
+// internal/parallel itself is exempt — it implements the ordered
+// reductions (behind mutexes and parked buffers, not bare receives).
+var floatfoldAnalyzer = &analyzer{
+	name: "floatfold",
+	doc:  "order-dependent float accumulation in channel-receiving loops",
+	run:  runFloatfold,
+}
+
+// floatfoldExempt names the package that implements the ordered
+// reductions and therefore owns its accumulation order by construction.
+var floatfoldExempt = map[string]bool{
+	"internal/parallel": true,
+}
+
+func runFloatfold(p *pass) {
+	if floatfoldExempt[p.rel] {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+				if tv, ok := p.info.Types[loop.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						checkFloatAccum(p, n, body)
+						return true
+					}
+				}
+			default:
+				return true
+			}
+			if receivesFromChannel(body) {
+				checkFloatAccum(p, n, body)
+			}
+			return true
+		})
+	}
+}
+
+// receivesFromChannel reports whether body contains a channel receive
+// or select statement outside nested function literals.
+func receivesFromChannel(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFloatAccum reports compound float assignments in body whose
+// target is declared outside loop — an accumulator folded across
+// deliveries.
+func checkFloatAccum(p *pass, loop ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			tv, ok := p.info.Types[lhs]
+			if !ok || !isFloat(tv.Type) {
+				continue
+			}
+			obj := rootObj(p.info, lhs)
+			if obj != nil && declaredOutside(obj, loop) {
+				p.reportf(as.Pos(),
+					"order-dependent floating-point accumulation into %q in a channel-receiving loop: the fold order follows delivery order; produce per-chunk partials and reduce them with parallel.OrderedFold or parallel.ReduceSums", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float32 || b.Kind() == types.Float64)
+}

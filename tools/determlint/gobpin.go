@@ -1,0 +1,119 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// gobpinAnalyzer enforces the PR 5 lesson: encoding/gob assigns type
+// ids from a process-global counter at a type's first encode or
+// decode, so the bytes a type serializes to depend on everything the
+// process (de)serialized earlier — unless every serialized type is
+// pinned by an init-time zero-value Encode in a fixed order. The
+// packages whose gob bytes are load-bearing (model bundles and
+// training checkpoints that CI byte-diffs, pic.ConfigKey and training
+// fingerprints that key journals and bundle stores, persisted corpora)
+// must pin every type they pass to gob Encode or Decode in their own
+// init.
+var gobpinAnalyzer = &analyzer{
+	name: "gobpin",
+	doc:  "gob-serialized types in serialization-bearing packages must be pinned in an init-time registration",
+	run:  runGobpin,
+}
+
+// gobpinScope names the packages whose gob output is load-bearing:
+// byte-diffed by CI, hashed into fingerprints, or persisted across
+// process histories.
+var gobpinScope = map[string]bool{
+	"internal/nn":          true,
+	"internal/core":        true,
+	"internal/pic":         true,
+	"internal/dataset":     true,
+	"internal/experiments": true,
+}
+
+// gobUse is one Encode/Decode of a named type outside init.
+type gobUse struct {
+	obj  types.Object
+	pos  token.Pos
+	verb string
+}
+
+func runGobpin(p *pass) {
+	if !gobpinScope[p.rel] {
+		return
+	}
+	pinned := map[types.Object]bool{}
+	var uses []gobUse
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				verb, named := gobSerializedType(p.info, call)
+				if named == nil {
+					return true
+				}
+				if isInit {
+					pinned[named.Obj()] = true
+				} else {
+					uses = append(uses, gobUse{obj: named.Obj(), pos: call.Pos(), verb: verb})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+	reported := map[types.Object]bool{}
+	for _, u := range uses {
+		if pinned[u.obj] || reported[u.obj] {
+			continue
+		}
+		reported[u.obj] = true
+		p.reportf(u.pos,
+			"type %s is gob-%sd but never pinned: add `_ = gob.NewEncoder(io.Discard).Encode(%s{})` to this package's init so its process-global gob type id is assigned in fixed order (see internal/nn/checkpoint.go)",
+			u.obj.Name(), u.verb, u.obj.Name())
+	}
+}
+
+// gobSerializedType returns the verb ("encode"/"decode") and the named
+// type that call serializes, when call is (*gob.Encoder).Encode(v) or
+// (*gob.Decoder).Decode(&v) of a named type; nil otherwise. Pointers
+// are unwrapped, so Decode's &v resolves to v's type.
+func gobSerializedType(info *types.Info, call *ast.CallExpr) (string, *types.Named) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	recv, ok := info.Types[sel.X]
+	if !ok {
+		return "", nil
+	}
+	var verb string
+	switch {
+	case sel.Sel.Name == "Encode" && isNamed(recv.Type, "encoding/gob", "Encoder"):
+		verb = "encode"
+	case sel.Sel.Name == "Decode" && isNamed(recv.Type, "encoding/gob", "Decoder"):
+		verb = "decode"
+	default:
+		return "", nil
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok {
+		return "", nil
+	}
+	arg := tv.Type
+	if named := namedType(arg); named != nil {
+		return verb, named
+	}
+	return "", nil
+}

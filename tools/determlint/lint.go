@@ -1,0 +1,308 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// diagnostic is one positional finding: file:line:col, the analyzer
+// that produced it, and the message.
+type diagnostic struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+// analyzer is one invariant checker. run reports findings through the
+// pass it receives.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(*pass)
+}
+
+// analyzers is the registry, in reporting-priority order. The driver
+// runs every entry over every package; scoping lives inside each
+// analyzer so the registry stays uniform.
+var analyzers = []*analyzer{
+	nondetAnalyzer,
+	maporderAnalyzer,
+	rawgoAnalyzer,
+	floatfoldAnalyzer,
+	gobpinAnalyzer,
+}
+
+// analyzerNames reports whether name is a registered analyzer (used to
+// validate ignore directives).
+func analyzerNames() map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.name] = true
+	}
+	return m
+}
+
+// pass is one analyzer's view of one package.
+type pass struct {
+	fset *token.FileSet
+	rel  string
+	// files, pkg, info mirror lintPkg.
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+
+	current *analyzer
+	diags   *[]diagnostic
+}
+
+// reportf records a finding of the currently running analyzer at pos.
+func (p *pass) reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, diagnostic{
+		pos:      p.fset.Position(pos),
+		analyzer: p.current.name,
+		message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// runLint runs every analyzer over every package, applies the ignore
+// directives, and returns the surviving findings sorted by position.
+func runLint(set *pkgSet) []diagnostic {
+	var diags []diagnostic
+	for _, lp := range set.pkgs {
+		p := &pass{
+			fset: set.fset, rel: lp.rel,
+			files: lp.files, pkg: lp.pkg, info: lp.info,
+			diags: &diags,
+		}
+		for _, a := range analyzers {
+			p.current = a
+			a.run(p)
+		}
+	}
+	diags = dedup(diags)
+	diags = applyIgnores(set, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	return diags
+}
+
+// dedup drops byte-identical findings (nested map ranges, for example,
+// can surface the same sink from two enclosing loops).
+func dedup(diags []diagnostic) []diagnostic {
+	seen := map[string]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s|%s|%s", d.pos, d.analyzer, d.message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// ignoreDirective is one parsed //determlint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	used     bool
+}
+
+// directivePrefix introduces the suppression escape hatch:
+// //determlint:ignore <analyzer> <reason>. The directive is narrowly
+// scoped — it suppresses findings of exactly that analyzer on its own
+// line and the line directly below, so one directive cannot silence a
+// whole file.
+const directivePrefix = "determlint:ignore"
+
+// applyIgnores suppresses findings covered by well-formed ignore
+// directives and appends findings for malformed or unused ones, so the
+// escape hatch cannot rot silently.
+func applyIgnores(set *pkgSet, diags []diagnostic) []diagnostic {
+	known := analyzerNames()
+	var directives []*ignoreDirective
+	var problems []diagnostic
+	badf := func(pos token.Pos, format string, args ...any) {
+		problems = append(problems, diagnostic{
+			pos:      set.fset.Position(pos),
+			analyzer: "directive",
+			message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, lp := range set.pkgs {
+		for _, f := range lp.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // block comments cannot carry directives
+					}
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					fields := strings.Fields(text)
+					switch {
+					case len(fields) < 2 || !known[fields[1]]:
+						badf(c.Pos(), "malformed ignore directive: want //determlint:ignore <analyzer> <reason> with a registered analyzer")
+					case len(fields) < 3:
+						badf(c.Pos(), "ignore directive for %q needs a reason", fields[1])
+					default:
+						pos := set.fset.Position(c.Pos())
+						directives = append(directives, &ignoreDirective{
+							file: pos.Filename, line: pos.Line, analyzer: fields[1],
+						})
+					}
+				}
+			}
+		}
+	}
+	var out []diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.analyzer == d.analyzer && dir.file == d.pos.Filename &&
+				(dir.line == d.pos.Line || dir.line == d.pos.Line-1) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			out = append(out, diagnostic{
+				pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+				analyzer: "directive",
+				message:  fmt.Sprintf("unused ignore directive for %q: nothing to suppress on this line or the next", dir.analyzer),
+			})
+		}
+	}
+	return append(out, problems...)
+}
+
+// ---------------------------------------------------------------------------
+// Shared analyzer helpers
+
+// inInternal reports whether rel is an internal package directory.
+func inInternal(rel string) bool {
+	return rel == "internal" || strings.HasPrefix(rel, "internal/")
+}
+
+// pkgFuncCall resolves call as pkg.Func(...) through the import table
+// and returns the package path and function name ("", "" when call is
+// not a package-qualified call).
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// rootObj resolves the variable (or field) an assignable expression
+// ultimately names: x, x.f, x[i], (*x) all resolve through x's chain.
+// It returns nil when no object can be determined.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// [node.Pos(), node.End()) span — i.e. the object survives across
+// iterations of a loop rooted at node.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() >= node.End()
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// (declaration or literal) in f containing pos, or nil.
+func enclosingFuncBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			if best == nil || (body.Pos() >= best.Pos() && body.End() <= best.End()) {
+				best = body
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// namedType unwraps pointers and aliases and returns the named type
+// behind t, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

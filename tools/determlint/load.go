@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// lintPkg is one fully type-checked package under the lint root.
+type lintPkg struct {
+	// rel is the package directory relative to the lint root, slash
+	// separated ("." for the root package itself). Analyzer scoping
+	// keys off it.
+	rel   string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// pkgSet is everything loadPackages produced: the shared FileSet, the
+// module path (empty outside a module) and the packages in walk order.
+type pkgSet struct {
+	fset    *token.FileSet
+	modPath string
+	pkgs    []*lintPkg
+}
+
+// loadPackages parses and type-checks every non-test package under
+// root, resolving imports with the go/types source importer (the
+// module is deliberately dependency-free, so the standard library
+// importer is all this needs). Hidden, vendor and testdata directories
+// are skipped. Type-check failures are hard errors: the tree must
+// build before it can be linted.
+func loadPackages(root string) (*pkgSet, error) {
+	set := &pkgSet{fset: token.NewFileSet(), modPath: modulePath(root)}
+	imp := importer.ForCompiler(set.fset, "source", nil)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); path != root &&
+			(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		files, err := parseDir(set.fset, path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		checkPath := rel
+		if set.modPath != "" {
+			if rel == "." {
+				checkPath = set.modPath
+			} else {
+				checkPath = set.modPath + "/" + rel
+			}
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(e error) { typeErrs = append(typeErrs, e) },
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		pkg, _ := conf.Check(checkPath, set.fset, files, info)
+		if len(typeErrs) > 0 {
+			return fmt.Errorf("typecheck %s: %v", rel, typeErrs[0])
+		}
+		set.pkgs = append(set.pkgs, &lintPkg{rel: rel, files: files, pkg: pkg, info: info})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// parseDir parses the non-test Go files of one directory in name
+// order (os.ReadDir sorts, so package loading is deterministic).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// modulePath reads the module path from root/go.mod, or "" when root
+// is not a module (the testdata trees, for example).
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderAnalyzer flags `range` over a map whose body feeds an
+// ordered sink: appending to a slice that outlives the loop (and is
+// never sorted afterwards), encoding to gob/JSON, writing to a hash or
+// any other io.Writer, or fmt.Fprint*-ing. Go randomizes map iteration
+// order per run, so each of these turns unordered iteration into
+// order-dependent output — the exact failure mode that corrupts
+// journal lines, digests and serialized bundles. The canonical fix —
+// collect the keys, sort, then iterate — is recognized: an appended
+// slice that is later passed to a sort/slices call in the same
+// function is not flagged.
+var maporderAnalyzer = &analyzer{
+	name: "maporder",
+	doc:  "range over a map feeding an ordered sink (slice append, encoder, hash, writer)",
+	run:  runMaporder,
+}
+
+func runMaporder(p *pass) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !rangesOverMap(p.info, rs) {
+				return true
+			}
+			checkMapRangeBody(p, f, rs)
+			return true
+		})
+	}
+}
+
+// rangesOverMap reports whether rs iterates a map: either its range
+// expression has map type, or it is a direct maps.Keys/Values/All call
+// (an iterator that inherits the map's randomized order).
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	if tv, ok := info.Types[rs.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	if call, ok := rs.X.(*ast.CallExpr); ok {
+		switch pkg, name := pkgFuncCall(info, call); {
+		case pkg == "maps" && (name == "Keys" || name == "Values" || name == "All"):
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRangeBody walks one map-range body looking for ordered
+// sinks. Function literals are not entered: code in a closure runs at
+// an unknown time and place, so it is the closure's own context that
+// gets analyzed.
+func checkMapRangeBody(p *pass, f *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		// Compound float accumulation across iterations: float addition
+		// is not associative, so the low bits follow iteration order.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range as.Lhs {
+					tv, ok := p.info.Types[lhs]
+					if !ok || !isFloat(tv.Type) {
+						continue
+					}
+					if obj := rootObj(p.info, lhs); obj != nil && declaredOutside(obj, rs) {
+						p.reportf(as.Pos(),
+							"order-dependent floating-point accumulation into %q inside range over a map: float folds are not associative, so the result follows iteration order (iterate sorted keys)", obj.Name())
+					}
+				}
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtin append to a slice that outlives the loop.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := p.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+				obj := rootObj(p.info, call.Args[0])
+				if obj != nil && declaredOutside(obj, rs) && !sortedAfter(p, f, rs.End(), obj) {
+					p.reportf(call.Pos(),
+						"append to %q inside range over a map: unordered iteration feeding ordered output (iterate sorted keys, or sort %q before it is consumed)",
+						obj.Name(), obj.Name())
+				}
+			}
+			return true
+		}
+		// fmt.Fprint* straight to a writer.
+		if pkg, name := pkgFuncCall(p.info, call); pkg == "fmt" &&
+			(name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+			p.reportf(call.Pos(),
+				"fmt.%s inside range over a map: unordered iteration feeding an ordered writer (iterate sorted keys)", name)
+			return true
+		}
+		// Method sinks: encoders and Write-bearing receivers (hashes,
+		// buffers, writers).
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := p.info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch {
+		case name == "Encode" &&
+			(isNamed(recv.Type, "encoding/gob", "Encoder") || isNamed(recv.Type, "encoding/json", "Encoder")):
+			p.reportf(call.Pos(),
+				"%s.Encode inside range over a map: unordered iteration feeding an encoded stream (iterate sorted keys)",
+				namedType(recv.Type).Obj().Name())
+		case (name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune") &&
+			hasWriteMethod(recv.Type):
+			p.reportf(call.Pos(),
+				"%s to a writer inside range over a map: unordered iteration feeding ordered output (hashes and digests included; iterate sorted keys)", name)
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call
+// after pos within the function enclosing pos — the canonical
+// collect-keys-then-sort pattern.
+func sortedAfter(p *pass, f *ast.File, pos token.Pos, obj types.Object) bool {
+	body := enclosingFuncBody(f, pos)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		pkg, _ := pkgFuncCall(p.info, call)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// hasWriteMethod reports whether t (or *t) has the io.Writer method
+// Write([]byte) (int, error), structurally — hash.Hash, bytes.Buffer,
+// strings.Builder, files and real writers all qualify.
+func hasWriteMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	s, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// nondetAnalyzer rejects nondeterminism sources in internal packages.
+// Every kernel, the trainer and the campaign engine promise
+// bit-identical results from a root seed; a stray math/rand call or a
+// wall-clock read folded into digested state breaks that silently.
+// Randomness must flow through internal/rng (splittable, snapshotable,
+// checkpoint-stable), which is the one package exempt here. Wall-clock
+// telemetry that provably stays out of digests (sweep.Result.Elapsed,
+// pipeline stage timings) carries a //determlint:ignore nondet
+// directive with its justification.
+var nondetAnalyzer = &analyzer{
+	name: "nondet",
+	doc:  "math/rand imports and wall-clock/process-identity reads in internal packages",
+	run:  runNondet,
+}
+
+// nondetExempt holds the packages allowed to touch raw entropy:
+// internal/rng is the deterministic generator everything else must go
+// through.
+var nondetExempt = map[string]bool{
+	"internal/rng": true,
+}
+
+// forbiddenImports maps import paths to why they are rejected.
+var forbiddenImports = map[string]string{
+	"math/rand":    "randomness must flow through internal/rng so every stream derives from the campaign seed",
+	"math/rand/v2": "randomness must flow through internal/rng so every stream derives from the campaign seed",
+	"crypto/rand":  "cryptographic entropy is nondeterministic by design; derive streams from internal/rng",
+}
+
+// wallClockFuncs are the time package reads that leak wall-clock into
+// results; process identity reads from os are equally banned.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// processIdentFuncs are os reads that vary per process or host.
+var processIdentFuncs = map[string]bool{
+	"Getpid": true, "Getppid": true, "Hostname": true, "Environ": true,
+}
+
+func runNondet(p *pass) {
+	if !inInternal(p.rel) || nondetExempt[p.rel] {
+		return
+	}
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				p.reportf(imp.Pos(), "import of %s: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch pkg, name := pkgFuncCall(p.info, call); {
+			case pkg == "time" && wallClockFuncs[name]:
+				p.reportf(call.Pos(),
+					"wall-clock read time.%s: wall-clock must stay out of digested state (keep timing in CLIs, or ignore with a reason if it is pure telemetry)", name)
+			case pkg == "os" && processIdentFuncs[name]:
+				p.reportf(call.Pos(),
+					"process-identity read os.%s: results must not depend on which process computed them", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// racePackages derives the `make race` package list: every internal
+// package that defines raw concurrency (by the raw-concurrency
+// analyzer's own classifier — today that is internal/parallel and
+// internal/batch) or transitively imports a package that does, minus
+// the explicit excludes. The result is the set of packages whose tests
+// can exercise concurrent code, printed as ./dir/ patterns for
+// `go test -race`.
+func racePackages(set *pkgSet, exclude map[string]bool) []string {
+	byRel := map[string]*lintPkg{}
+	for _, lp := range set.pkgs {
+		byRel[lp.rel] = lp
+	}
+	bearing := map[string]bool{}
+	for _, lp := range set.pkgs {
+		if definesConcurrency(lp) {
+			bearing[lp.rel] = true
+		}
+	}
+	// Propagate over the import graph to a fixpoint: importing a
+	// concurrency-bearing package makes a package concurrency-bearing.
+	for changed := true; changed; {
+		changed = false
+		for _, lp := range set.pkgs {
+			if bearing[lp.rel] {
+				continue
+			}
+			for _, dep := range lp.pkg.Imports() {
+				rel, ok := strings.CutPrefix(dep.Path(), set.modPath+"/")
+				if !ok {
+					continue
+				}
+				if bearing[rel] {
+					bearing[lp.rel] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []string
+	for _, lp := range set.pkgs {
+		if inInternal(lp.rel) && bearing[lp.rel] && !exclude[lp.rel] {
+			out = append(out, "./"+lp.rel+"/")
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// definesConcurrency reports whether lp's own sources contain a raw
+// concurrency construct.
+func definesConcurrency(lp *lintPkg) bool {
+	for _, f := range lp.files {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if concurrencyConstruct(lp.info, n) != "" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

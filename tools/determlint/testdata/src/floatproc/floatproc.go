@@ -1,0 +1,69 @@
+// Package floatproc exercises the floatfold analyzer: floating-point
+// accumulation whose fold order follows channel delivery order. It
+// lives outside internal/ so the rawgo analyzer stays quiet and the
+// float findings stand alone (the analyzer applies everywhere except
+// internal/parallel, which implements the ordered reductions).
+package floatproc
+
+// sumDeliveries folds receives directly into an accumulator.
+func sumDeliveries(ch chan float64) float64 {
+	var total float64
+	for i := 0; i < 4; i++ {
+		total += <-ch // want "order-dependent floating-point accumulation into \"total\""
+	}
+	return total
+}
+
+// sumRange folds a range-over-channel the same way.
+func sumRange(ch chan float64) float64 {
+	var total float64
+	for v := range ch {
+		total += v // want "order-dependent floating-point accumulation into \"total\""
+	}
+	return total
+}
+
+// sumSelect folds select results; products are order-dependent too.
+func sumSelect(a, b chan float64) float64 {
+	var total float64
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-a:
+			total += v // want "order-dependent floating-point accumulation into \"total\""
+		case v := <-b:
+			total *= v // want "order-dependent floating-point accumulation into \"total\""
+		}
+	}
+	return total
+}
+
+// countDeliveries is conforming: integer accumulation is associative,
+// so delivery order cannot change the result.
+func countDeliveries(ch chan int) int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		n += <-ch
+	}
+	return n
+}
+
+// sumSlice is conforming: no channel in the loop, the fold order is
+// the slice order.
+func sumSlice(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// perDelivery is conforming: the accumulator is born inside the loop,
+// so nothing folds across deliveries.
+func perDelivery(ch chan float64, out []float64) {
+	for i := range out {
+		v := <-ch
+		scaled := 0.0
+		scaled += v * 2
+		out[i] = scaled
+	}
+}

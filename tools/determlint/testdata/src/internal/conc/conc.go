@@ -1,0 +1,53 @@
+// Package conc exercises the rawgo analyzer: raw concurrency in an
+// internal package outside internal/parallel and internal/batch.
+package conc
+
+import "sync"
+
+// fanOut demonstrates every rejected construct.
+func fanOut(n int) int {
+	var wg sync.WaitGroup   // want "sync.WaitGroup outside"
+	ch := make(chan int, n) // want "channel type outside"
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want "bare go statement outside"
+			defer wg.Done()
+			ch <- i // want "channel send outside"
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch // want "channel receive outside"
+	}
+	return total
+}
+
+// drain shows select and range-over-channel findings. The parameter's
+// channel type is reported too: channels must not leak through
+// internal APIs outside the sanctioned packages.
+func drain(ch chan int, stop chan struct{}) int { // want "channel type outside" "channel type outside"
+	total := 0
+	select { // want "select statement outside"
+	case v := <-ch: // want "channel receive outside"
+		total += v
+	case <-stop: // want "channel receive outside"
+	}
+	for v := range ch { // want "range over a channel outside"
+		total += v
+	}
+	return total
+}
+
+// serial is conforming: plain loops, mutexes and atomics are fine —
+// only scheduling-shaped constructs are findings.
+func serial(xs []int) int {
+	var mu sync.Mutex
+	total := 0
+	for _, v := range xs {
+		mu.Lock()
+		total += v
+		mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package core exercises the gobpin analyzer: it sits at internal/core,
+// one of the serialization-bearing packages, so every type passed to a
+// gob Encode or Decode must be pinned by an init-time zero-value
+// Encode.
+package core
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// pinned is registered at init, so its uses below are conforming.
+type pinned struct{ A int }
+
+// unpinned is encoded but never registered at init.
+type unpinned struct{ B int }
+
+// decoded is only ever decoded — decoding registers gob type ids just
+// like encoding does (the PR 5 lesson), so it needs pinning too.
+type decoded struct{ C int }
+
+func init() {
+	_ = gob.NewEncoder(io.Discard).Encode(pinned{})
+}
+
+// saveAll encodes one pinned and one unpinned type.
+func saveAll(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(pinned{A: 1}); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(unpinned{B: 2}) // want "type unpinned is gob-encoded but never pinned"
+}
+
+// loadOne decodes an unpinned type; only the first use per type is
+// reported, so loadTwo below stays quiet.
+func loadOne(r io.Reader) (decoded, error) {
+	var d decoded
+	err := gob.NewDecoder(r).Decode(&d) // want "type decoded is gob-decoded but never pinned"
+	return d, err
+}
+
+// loadTwo is the second use of decoded: same type, no second finding.
+func loadTwo(r io.Reader) (decoded, error) {
+	var d decoded
+	err := gob.NewDecoder(r).Decode(&d)
+	return d, err
+}

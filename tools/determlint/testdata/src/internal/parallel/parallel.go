@@ -1,0 +1,30 @@
+// Package parallel mirrors the real internal/parallel: the sanctioned
+// home of raw concurrency (with internal/batch), and the owner of the
+// ordered reductions, so neither rawgo nor floatfold report here.
+// Nothing in this file is a finding.
+package parallel
+
+import "sync"
+
+// reduce fans work out over bare goroutines and folds float results
+// from a channel — exactly what is forbidden everywhere else, and
+// exactly what this package exists to encapsulate behind chunk-ordered
+// primitives.
+func reduce(xs []float64) float64 {
+	var wg sync.WaitGroup
+	ch := make(chan float64, len(xs))
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			ch <- x * x
+		}(x)
+	}
+	wg.Wait()
+	close(ch)
+	var total float64
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,35 @@
+// Package quiet exercises the //determlint:ignore escape hatch: its
+// narrow two-line scope, and the findings produced by unused and
+// malformed directives so the hatch cannot rot silently.
+package quiet
+
+import "time"
+
+// stampA is suppressed by a directive on the preceding line.
+func stampA() time.Time {
+	//determlint:ignore nondet log-only timestamp, never digested
+	return time.Now()
+}
+
+// stampB is suppressed by a trailing directive on the same line.
+func stampB() time.Time {
+	return time.Now() //determlint:ignore nondet log-only timestamp, never digested
+}
+
+// stampC shows the directive's scope ending: the directive covers its
+// own line and the next, so the second read two lines down is still a
+// finding.
+func stampC() time.Time {
+	//determlint:ignore nondet covers only the line below
+	_ = time.Now()
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+//determlint:ignore nondet nothing on this or the next line to suppress // want "unused ignore directive"
+
+//determlint:ignore bogus not a registered analyzer // want "malformed ignore directive"
+
+/* want "needs a reason" */ //determlint:ignore nondet
+
+// clean is conforming code between the directive probes.
+func clean() time.Duration { return time.Nanosecond }

@@ -1,0 +1,36 @@
+// Package sim exercises the nondet analyzer: it sits under internal/,
+// so randomness and wall-clock reads are findings.
+package sim
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand"
+	"math/rand"         // want "import of math/rand"
+	"os"
+	"time"
+)
+
+// jitter uses the forbidden import; the import line itself carries the
+// finding, not every call site.
+func jitter() float64 { return rand.Float64() }
+
+// entropy drains crypto/rand, reported at its import.
+func entropy(buf []byte) { _, _ = crand.Read(buf) }
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// age reads the wall clock through Since.
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want "wall-clock read time.Since"
+}
+
+// pid reads process identity.
+func pid() int {
+	return os.Getpid() // want "process-identity read os.Getpid"
+}
+
+// home is conforming: plain environment reads are not identity reads,
+// and time.Time values may flow through signatures freely.
+func home() (string, time.Time) { return os.Getenv("HOME"), time.Time{} }

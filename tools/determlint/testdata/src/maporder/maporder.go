@@ -1,0 +1,145 @@
+// Package maporder exercises the map-order analyzer. It deliberately
+// lives outside internal/: the analyzer applies to every package,
+// because unordered iteration feeding ordered output corrupts journal
+// lines, digests and encoded streams wherever it happens.
+package maporder
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"maps"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted leaks map order into a slice that is returned as-is.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside range over a map"
+	}
+	return keys
+}
+
+// collectSorted is the canonical fix and is not a finding: the
+// appended slice is sorted before it is consumed.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice recognizes the sort.Slice form of the fix too.
+func collectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// keysIter ranges over maps.Keys, which inherits the map's randomized
+// order — same finding as ranging the map directly.
+func keysIter(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k) // want "append to \"out\" inside range over a map"
+	}
+	return out
+}
+
+// gobStream writes map entries straight into an encoded stream.
+func gobStream(w io.Writer, m map[string]int) error {
+	enc := gob.NewEncoder(w)
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want "Encoder.Encode inside range over a map"
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonStream does the same through encoding/json.
+func jsonStream(w io.Writer, m map[string]int) error {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want "Encoder.Encode inside range over a map"
+			return err
+		}
+	}
+	return nil
+}
+
+// digest feeds a hash in map order — the digest would differ run to
+// run over identical data.
+func digest(m map[string]int) [sha256.Size]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want "Write to a writer inside range over a map"
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// report prints rows in map order.
+func report(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside range over a map"
+	}
+}
+
+// buildString appends to a strings.Builder, a Write-bearing sink.
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString to a writer inside range over a map"
+	}
+	return b.String()
+}
+
+// meanAbs folds floats across map iterations: float addition is not
+// associative, so the low bits follow the randomized order.
+func meanAbs(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "order-dependent floating-point accumulation into \"total\""
+	}
+	return total / float64(len(m))
+}
+
+// invert is conforming: writing into another map is order-free.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// tally is conforming: a scalar reduction over a map of ints does not
+// depend on iteration order.
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// innerScratch is conforming: the appended slice is born and consumed
+// inside one iteration, so no cross-iteration order leaks.
+func innerScratch(m map[string][]int, f func([]int)) {
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		f(scratch)
+	}
+}

@@ -1,0 +1,17 @@
+// Package outofscope shows the gobpin analyzer's scoping: gob use in a
+// package whose bytes are not load-bearing (outside internal/{nn,core,
+// pic,dataset,experiments}) is not a finding.
+package outofscope
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// record is gob-encoded without an init pin — legal here.
+type record struct{ X int }
+
+// save encodes without any pinning ceremony.
+func save(w io.Writer, r record) error {
+	return gob.NewEncoder(w).Encode(r)
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Expectation comments in testdata sources: `want "substring"`, where
+// the substring must appear in a report line anchored to that line or
+// the line directly below (const/var specs treat trailing comments as
+// documentation, so their wants sit on the group's opening line).
+var (
+	wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+	strRE  = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type wantLine struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+func collectWants(t *testing.T, root string) []*wantLine {
+	t.Helper()
+	var wants []*wantLine
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, lit := range strRE.FindAllString(m[1], -1) {
+				substr, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", path, i+1, lit, err)
+				}
+				wants = append(wants, &wantLine{
+					file: filepath.ToSlash(path), line: i + 1, substr: substr,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// reportPos splits a lintdoc report line ("file:line: message") into
+// its file, line and message parts.
+func reportPos(t *testing.T, report string) (string, int, string) {
+	t.Helper()
+	parts := strings.SplitN(report, ":", 3)
+	if len(parts) != 3 {
+		t.Fatalf("malformed report line %q", report)
+	}
+	line, err := strconv.Atoi(parts[1])
+	if err != nil {
+		t.Fatalf("malformed line number in report %q: %v", report, err)
+	}
+	return filepath.ToSlash(parts[0]), line, strings.TrimSpace(parts[2])
+}
+
+// TestTestdataReports requires an exact bidirectional match between
+// run's report lines over testdata/src and the want comments there.
+func TestTestdataReports(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	reports, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found under testdata/src")
+	}
+	for _, r := range reports {
+		file, line, msg := reportPos(t, r)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == file && (w.line == line || w.line == line-1) &&
+				strings.Contains(msg, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected report: %s", r)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a report containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// TestRepoDocsClean mirrors `make docs`: the repository itself must
+// have no undocumented exported identifiers.
+func TestRepoDocsClean(t *testing.T) {
+	reports, err := run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		t.Errorf("repo is not docs-clean: %s", r)
+	}
+}
+
+// TestRunErrorsOnUnparsableFile pins the exit-2 path: a syntactically
+// broken file is a hard error, not a silent skip.
+func TestRunErrorsOnUnparsableFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package broken\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(dir); err == nil {
+		t.Fatal("run succeeded on an unparsable file")
+	} else if !strings.Contains(err.Error(), "broken.go") {
+		t.Fatalf("error does not name the broken file: %v", err)
+	}
+}
+
+// TestWalkSkipsNestedTestdata pins the walk's pruning: testdata,
+// vendor and hidden directories under the root are not checked.
+func TestWalkSkipsNestedTestdata(t *testing.T) {
+	dir := t.TempDir()
+	undoc := []byte("package skipme\n\nfunc Exported() {}\n")
+	for _, sub := range []string{"testdata", "vendor", ".hidden"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, sub, "skipme.go"), undoc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("pruned directories were checked: %v", reports)
+	}
+}

@@ -22,6 +22,23 @@ func main() {
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
+	missing, err := run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintdoc:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		fmt.Printf("lintdoc: %d exported identifiers missing doc comments\n", len(missing))
+		os.Exit(1)
+	}
+}
+
+// run walks the tree under root and returns one report line per
+// undocumented exported identifier, in walk order.
+func run(root string) ([]string, error) {
 	var missing []string
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -46,16 +63,9 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lintdoc:", err)
-		os.Exit(2)
+		return nil, err
 	}
-	if len(missing) > 0 {
-		for _, m := range missing {
-			fmt.Println(m)
-		}
-		fmt.Printf("lintdoc: %d exported identifiers missing doc comments\n", len(missing))
-		os.Exit(1)
-	}
+	return missing, nil
 }
 
 // checkFile returns one report line per undocumented exported

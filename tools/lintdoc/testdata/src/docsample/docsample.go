@@ -1,0 +1,49 @@
+// Package docsample exercises lintdoc: each want comment names the
+// substring of the report line that must fire on that line, and lines
+// without a want comment must stay silent.
+package docsample
+
+// Documented is exported and documented — no finding.
+func Documented() {}
+
+func Undocumented() {} // want "function Undocumented has no doc comment"
+
+func internal() {} // unexported: not API, no finding
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Name is documented.
+func (Widget) Name() string { return "widget" }
+
+func (Widget) Kind() string { return "widget" } // want "method Widget.Kind has no doc comment"
+
+type Gadget struct{} // want "type Gadget has no doc comment"
+
+type helper struct{}
+
+func (helper) Exported() {} // method on an unexported type: not API, no finding
+
+// Grouped constants share the declaration's doc comment.
+const (
+	First  = 1
+	Second = 2
+)
+
+// A trailing comment on a const or var spec counts as documentation
+// (see Trailing below), so the undocumented cases below carry their
+// want on the group's opening line — the harness accepts the line
+// above — and a blank line keeps this comment from becoming group doc.
+
+const ( // want "const Bare has no doc comment"
+	Bare = 3
+)
+
+var ( // want "var Loose has no doc comment"
+	Loose int
+)
+
+// Covered has a declaration doc comment.
+var Covered int
+
+var Trailing int // a trailing line comment counts as documentation
