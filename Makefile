@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-train bench bench-json smoke-campaign smoke-train docs ci
+.PHONY: all build test vet lint race race-train bench bench-json smoke-campaign smoke-train smoke-serve docs ci
 
 all: ci
 
@@ -127,6 +127,15 @@ smoke-train:
 	cat $(ST_DIR)/work/digest-full
 	diff $(ST_DIR)/work/digest-full $(ST_DIR)/work/digest-res
 	diff $(ST_DIR)/work/digest-full $(ST_DIR)/work/digest-res2
+
+# smoke-serve is the CI lifecycle gate for the dlpicd campaign daemon
+# (tools/smoke-serve.sh): run A checks submit/dedup/poll/drain over
+# HTTP and records the campaign digest; run B SIGKILLs the daemon mid-
+# training and requires a restarted daemon over the same data directory
+# to resume the job unprompted to the bit-exact same digest, with
+# byte-identical persisted model bundles across the two runs.
+smoke-serve:
+	GO="$(GO)" sh ./tools/smoke-serve.sh
 
 # docs fails when an exported identifier lacks a doc comment, keeping
 # `go doc` usable as the API reference.

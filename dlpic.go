@@ -77,6 +77,7 @@ import (
 	"dlpic/internal/phasespace"
 	"dlpic/internal/pic"
 	"dlpic/internal/rng"
+	"dlpic/internal/serve"
 	"dlpic/internal/sweep"
 	"dlpic/internal/tensor"
 	"dlpic/internal/theory"
@@ -483,6 +484,35 @@ func CampaignDigest(results []SweepResult) string {
 func CampaignArtifactDir(journalPath string) string {
 	return campaign.ArtifactDir(journalPath)
 }
+
+// ---------------------------------------------------------------------------
+// Campaign service (dlpicd)
+
+// Campaign-service types re-exported from internal/serve: the
+// long-running daemon behind cmd/dlpicd. Submissions are
+// content-addressed (identical specs collapse onto one job), the queue
+// is bounded, trained model bundles are shared across jobs by training
+// fingerprint, and SIGTERM/kill -9 both resume from the campaign
+// journal on the next start.
+type (
+	// Daemon is the campaign service: HTTP job submission, bounded
+	// queue, executor pool, journal-backed persistence.
+	Daemon = serve.Daemon
+	// DaemonConfig configures a Daemon (data directory, queue capacity,
+	// executor and worker counts).
+	DaemonConfig = serve.Config
+	// DaemonCampaignSpec is the wire-format campaign description one
+	// submits to a Daemon (not to be confused with CampaignSpec, the
+	// in-process campaign.Spec alias).
+	DaemonCampaignSpec = serve.CampaignSpec
+	// DaemonJobStatus is one job's wire-format snapshot.
+	DaemonJobStatus = serve.JobStatus
+)
+
+// NewDaemon builds a campaign-service daemon over cfg.DataDir, resumes
+// any unfinished jobs the directory records, and starts its executors.
+// Serve its HTTP API with Daemon.Handler and stop it with Daemon.Drain.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return serve.New(cfg) }
 
 // NewBatchedSolver starts a batched inference backend around a trained
 // solver's network: set the result as the Batcher of a SweepMethodSpec

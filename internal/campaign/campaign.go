@@ -45,6 +45,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -53,6 +54,13 @@ import (
 	"dlpic/internal/pic"
 	"dlpic/internal/sweep"
 )
+
+// ErrInterrupted marks a cell that was skipped because Spec.Interrupt
+// tripped before the cell started. Interrupted cells are never
+// journaled — they carry no physics — so a later Run over the same
+// journal re-runs exactly them and nothing else. Detect with
+// errors.Is on Result.Err, or Interrupted over the whole result set.
+var ErrInterrupted = errors.New("campaign: interrupted before cell start")
 
 // DefaultMaxAttempts bounds how many times a failing cell is executed
 // across a campaign and its resumes when Spec.MaxAttempts is unset.
@@ -72,6 +80,15 @@ type Spec struct {
 	// resumes before its recorded failure becomes final (<= 0 selects
 	// DefaultMaxAttempts).
 	MaxAttempts int
+	// Interrupt, when non-nil, is polled before each pending cell
+	// starts; once it returns true the remaining cells are skipped with
+	// ErrInterrupted instead of run. This is the graceful-drain seam: a
+	// long-running service stops a campaign at the next cell boundary,
+	// the journal keeps only fully completed cells, and a later Run
+	// resumes bit-identically. Cells already executing when Interrupt
+	// trips run to completion (and are journaled). The callback must be
+	// safe for concurrent calls from pool workers.
+	Interrupt func() bool
 }
 
 // Key returns the deterministic journal key of one scenario x method
@@ -165,6 +182,14 @@ func Run(path string, spec Spec) ([]sweep.Result, error) {
 	)
 	ran := sweep.Collect(len(pending), spec.Opts.Workers, progress, func(i int) sweep.Result {
 		c := pending[i]
+		if spec.Interrupt != nil && spec.Interrupt() {
+			// Skipped, not failed: no journal record, no attempt charged.
+			// The cell stays pending for the next Run over this journal.
+			return sweep.Result{
+				Scenario: spec.Scenarios[c/m], Method: methods[c%m].Name,
+				Err: ErrInterrupted,
+			}
+		}
 		res := sweep.RunScenario(spec.Scenarios[c/m], methods[c%m], spec.Opts)
 		if journal != nil {
 			err := journal.Append(newRecord(keys[c], attempts[c]+1, res))
@@ -219,6 +244,19 @@ func Resume(path string, spec Spec) ([]sweep.Result, error) {
 		return nil, fmt.Errorf("campaign: resume: %w", err)
 	}
 	return Run(path, spec)
+}
+
+// Interrupted reports whether any cell of a result set was skipped by
+// Spec.Interrupt. A true return means the campaign is incomplete by
+// choice, not by failure: its journal holds only completed cells and a
+// later Run finishes the rest bit-identically.
+func Interrupted(results []sweep.Result) bool {
+	for i := range results {
+		if errors.Is(results[i].Err, ErrInterrupted) {
+			return true
+		}
+	}
+	return false
 }
 
 // ArtifactDir returns the canonical directory for persistent artifacts

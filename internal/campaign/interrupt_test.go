@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestInterruptSkipsCellsAndResumes is the graceful-drain property: a
+// campaign whose Interrupt trips after k cells skips the rest with
+// ErrInterrupted, journals exactly the completed cells, and a later Run
+// over the same journal finishes to a digest bit-identical to an
+// uninterrupted campaign.
+func TestInterruptSkipsCellsAndResumes(t *testing.T) {
+	ref, err := Run("", tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "int.jsonl")
+	spec := tinySpec(1)
+	var polls atomic.Int64
+	spec.Interrupt = func() bool { return polls.Add(1) > 2 }
+	results, err := Run(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Interrupted(results) {
+		t.Fatal("Interrupted() = false on a drained campaign")
+	}
+	interrupted := 0
+	for i := range results {
+		if errors.Is(results[i].Err, ErrInterrupted) {
+			interrupted++
+			if len(results[i].Rec.Samples) != 0 {
+				t.Fatalf("interrupted cell %d carries samples", i)
+			}
+		}
+	}
+	if interrupted != 2 {
+		t.Fatalf("interrupted %d of 4 cells, want 2", interrupted)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(buf), "\n"); lines != 2 {
+		t.Fatalf("journal holds %d records, want only the 2 completed cells", lines)
+	}
+
+	// Finish the drained campaign: only the skipped cells re-run, and
+	// the final results are bit-identical to the uninterrupted ones.
+	resumed, err := Run(path, tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Interrupted(resumed) {
+		t.Fatal("resumed campaign still reports interruption")
+	}
+	sameResults(t, resumed, ref)
+	if Digest(resumed) != Digest(ref) {
+		t.Fatal("resumed digest differs from uninterrupted run")
+	}
+}
+
+// TestInterruptNeverTrippedIsInert pins that a wired-but-quiet
+// Interrupt changes nothing: same results, same digest.
+func TestInterruptNeverTrippedIsInert(t *testing.T) {
+	ref, err := Run("", tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(1)
+	spec.Interrupt = func() bool { return false }
+	got, err := Run("", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, ref)
+	if Digest(got) != Digest(ref) {
+		t.Fatal("digest differs with an untripped Interrupt")
+	}
+}

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []float64
+	}{
+		{"", nil},
+		{"0.15", []float64{0.15}},
+		{"0.1,0.2,0.3", []float64{0.1, 0.2, 0.3}},
+		{" 0.1 , 0.2 ", []float64{0.1, 0.2}}, // whitespace tolerated
+		{"-0.3,1e-2", []float64{-0.3, 0.01}}, // signs and exponents
+		{"0,0,0", []float64{0, 0, 0}},        // duplicates preserved
+		{"3,1,2", []float64{3, 1, 2}},        // order preserved, no sorting
+	}
+	for _, c := range cases {
+		got, err := ParseFloats(c.in)
+		if err != nil {
+			t.Errorf("ParseFloats(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseFloats(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseFloats(%q)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestParseFloatsEmptyIsNil pins the flag-default contract: an empty
+// value is nil (axis unset), not an empty non-nil slice.
+func TestParseFloatsEmptyIsNil(t *testing.T) {
+	got, err := ParseFloats("")
+	if err != nil || got != nil {
+		t.Fatalf("ParseFloats(\"\") = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestParseFloatsErrors pins the rejection contract: garbage tokens —
+// including empty list positions, which catch typos like "0.1,,0.2" —
+// error with the offending token quoted.
+func TestParseFloatsErrors(t *testing.T) {
+	for _, in := range []string{"abc", "0.1,abc", "0.1;0.2", "0..1", "0.1,NaN!!", "0.1,,0.2", ",0.5", " , "} {
+		if _, err := ParseFloats(in); err == nil {
+			t.Errorf("ParseFloats(%q) accepted garbage", in)
+		} else if !strings.Contains(err.Error(), "bad float") {
+			t.Errorf("ParseFloats(%q) error %q lacks the offending token", in, err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"dlpic/internal/core"
 	"dlpic/internal/dataset"
@@ -114,6 +115,50 @@ func trainKey(sweep dataset.GenerateOpts, pipelineSeed uint64, arch any, tc nn.T
 	return hex.EncodeToString(sum[:8]), nil
 }
 
+// Training singleflight. A long-running service can build several
+// pipelines concurrently (one per campaign job), and two jobs whose
+// specs share a training fingerprint would otherwise train the same
+// model twice — and race their checkpoint and bundle writes at the
+// same paths. trainSolver therefore serializes on the canonical bundle
+// path: the second trainer waits for the first, then finds the
+// persisted bundle and loads it (zero training epochs). The lock is
+// process-global by design — the path, not the store, identifies the
+// artifact, so two stores over one directory still exclude each other.
+var (
+	trainFlightMu sync.Mutex
+	trainFlight   = map[string]*flightLock{}
+)
+
+// flightLock is one per-path mutex with a reference count so the map
+// entry is dropped when the last holder leaves.
+type flightLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockTraining acquires the per-path training lock and returns its
+// unlock.
+func lockTraining(path string) func() {
+	trainFlightMu.Lock()
+	fl := trainFlight[path]
+	if fl == nil {
+		fl = &flightLock{}
+		trainFlight[path] = fl
+	}
+	fl.refs++
+	trainFlightMu.Unlock()
+	fl.mu.Lock()
+	return func() {
+		fl.mu.Unlock()
+		trainFlightMu.Lock()
+		fl.refs--
+		if fl.refs == 0 {
+			delete(trainFlight, path)
+		}
+		trainFlightMu.Unlock()
+	}
+}
+
 // bundleStore resolves fingerprint-keyed artifact paths under one
 // directory and loads/saves solver bundles with logged fallbacks.
 type bundleStore struct {
@@ -198,6 +243,14 @@ func (p *Pipeline) trainSolver(store *bundleStore, name string, sweep dataset.Ge
 			p.logf("[%s] training fingerprint failed (%v); bundle persistence disabled", name, err)
 			store = nil
 		}
+	}
+	if store != nil {
+		// Singleflight across concurrent pipeline builds: hold the
+		// fingerprint's training lock over load-or-train-and-save, so a
+		// sibling build with the same identity waits here and then loads
+		// the bundle this holder persists instead of retraining.
+		unlock := lockTraining(store.bundlePath(name, key))
+		defer unlock()
 	}
 	if store != nil {
 		if solver, ok := store.load(name, key, p.Spec, p.Cfg.Cells); ok {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"dlpic/internal/campaign"
@@ -249,5 +250,46 @@ func TestBundleReuse_BundlePresentJournalMissing(t *testing.T) {
 	}
 	if d1 != d2 {
 		t.Fatalf("digests diverge across journal loss: %s vs %s", d1, d2)
+	}
+}
+
+// TestBundleSingleflight_ConcurrentBuildsTrainOnce: two pipeline builds
+// racing on one training fingerprint in one bundle directory — the
+// shape of two concurrent service campaigns needing the same model —
+// train exactly once. The second build waits on the fingerprint's
+// training lock and then loads the bundle the first persisted: one
+// .dlpic file, one non-empty training history, byte-identical weights.
+func TestBundleSingleflight_ConcurrentBuildsTrainOnce(t *testing.T) {
+	dir := t.TempDir()
+	pipes := make([]*Pipeline, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range pipes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pipes[i], errs[i] = New(tinyBundleOpts(dir, 1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("build %d: %v", i, err)
+		}
+	}
+	if n := len(bundleFiles(t, dir)); n != 1 {
+		t.Fatalf("concurrent same-fingerprint builds persisted %d bundles, want 1", n)
+	}
+	trainedN := 0
+	for _, p := range pipes {
+		if len(p.MLPHistory.Epochs) > 0 {
+			trainedN++
+		}
+	}
+	if trainedN != 1 {
+		t.Fatalf("%d of 2 concurrent builds trained, want exactly 1", trainedN)
+	}
+	if !bytes.Equal(mlpBytes(t, pipes[0]), mlpBytes(t, pipes[1])) {
+		t.Fatal("concurrent builds disagree on MLP weights")
 	}
 }

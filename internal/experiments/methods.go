@@ -116,6 +116,25 @@ func (l *lazyBatcher) close() {
 	}
 }
 
+// MethodConfig selects how DL methods execute their field solves.
+// The zero value is the per-call path: every scenario clones its own
+// solver. Batched routes solves through shared batched-inference
+// servers instead (MaxBatch <= 0 selects the default flush cap) —
+// results are bit-identical either way. Pool, when set alongside
+// Batched, sources those servers from a shared batch.Pool under
+// PoolKey(method) rather than constructing one per registry: requesters
+// from many concurrent campaigns then join and leave one live server,
+// and the pool — not the registry's cleanup — owns its lifetime.
+// PoolKey must fold in everything the built server depends on (the
+// pipeline's training identity and the batch cap); it is required when
+// Pool is set.
+type MethodConfig struct {
+	Batched  bool
+	MaxBatch int
+	Pool     *batch.Pool
+	PoolKey  func(method string) string
+}
+
 // Methods resolves method names into the sweep method registry of a
 // comparison campaign. provider supplies the trained solvers on first
 // DL use; it may be nil when only model-free methods (traditional,
@@ -127,6 +146,20 @@ func (l *lazyBatcher) close() {
 // sweeps using the specs have returned (it is a no-op when none were
 // built).
 func Methods(provider PipelineProvider, names []string, batched bool, maxBatch int) (specs []sweep.MethodSpec, cleanup func(), err error) {
+	return MethodsWith(provider, names, MethodConfig{Batched: batched, MaxBatch: maxBatch})
+}
+
+// MethodsWith is Methods with the full MethodConfig seam, including
+// pool-shared batched backends. With mc.Pool set the returned cleanup
+// does not close pooled servers — they stay live for other campaigns
+// and are released by Pool.Close when the owning service drains.
+func MethodsWith(provider PipelineProvider, names []string, mc MethodConfig) (specs []sweep.MethodSpec, cleanup func(), err error) {
+	if mc.Pool != nil && !mc.Batched {
+		return nil, func() {}, fmt.Errorf("experiments: MethodConfig.Pool requires Batched")
+	}
+	if mc.Pool != nil && mc.PoolKey == nil {
+		return nil, func() {}, fmt.Errorf("experiments: MethodConfig.Pool requires PoolKey")
+	}
 	var closers []func()
 	cleanup = func() {
 		for _, c := range closers {
@@ -156,14 +189,24 @@ func Methods(provider PipelineProvider, names []string, batched bool, maxBatch i
 		return solver, nil
 	}
 	solverSpec := func(name string) sweep.MethodSpec {
-		if batched {
-			lb := &lazyBatcher{build: func() (*batch.Solver, error) {
+		if mc.Batched {
+			build := func() (*batch.Solver, error) {
 				solver, err := trained(name)
 				if err != nil {
 					return nil, err
 				}
-				return batch.FromNNSolver(solver, maxBatch)
-			}}
+				return batch.FromNNSolver(solver, mc.MaxBatch)
+			}
+			if mc.Pool != nil {
+				pool, key := mc.Pool, mc.PoolKey(name)
+				// Pool-owned: not in closers — the server outlives this
+				// registry so later campaigns' requesters can join it.
+				return sweep.MethodSpec{Name: name,
+					Batcher: &lazyBatcher{build: func() (*batch.Solver, error) {
+						return pool.Solver(key, build)
+					}}}
+			}
+			lb := &lazyBatcher{build: build}
 			closers = append(closers, lb.close)
 			return sweep.MethodSpec{Name: name, Batcher: lb}
 		}

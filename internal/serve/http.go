@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxSpecBytes bounds one submitted spec body. Specs are a few hundred
+// bytes of axes and names; a megabyte is generous.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz                 liveness probe
+//	POST /campaigns               submit a CampaignSpec (JSON body);
+//	                              202 new job, 200 deduped onto an
+//	                              existing one, 400 invalid, 429 queue
+//	                              full, 503 draining
+//	GET  /campaigns               every job, sorted by id
+//	GET  /campaigns/{id}          one job snapshot, 404 unknown
+//	GET  /campaigns/{id}/stream   server-sent events: one JobStatus per
+//	                              observable change, closing after the
+//	                              terminal snapshot
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /campaigns", d.handleSubmit)
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Jobs())
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.Status(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /campaigns/{id}/stream", d.handleStream)
+	return mux
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, created, err := d.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case created:
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// handleStream is the per-cell progress feed: a server-sent-events
+// stream pushing one JobStatus snapshot per observable change (state
+// transitions and cell completions), ending after the terminal one.
+func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := d.Status(id); !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ctx := r.Context()
+	// A dying connection must unblock the WaitChange loop: translate
+	// its cancellation into the daemon's one wakeup channel.
+	go func() {
+		<-ctx.Done()
+		d.Wake()
+	}()
+	stop := func() bool { return ctx.Err() != nil }
+
+	// Send the current snapshot first, then one event per change.
+	seen := -1
+	for {
+		st, version, ok := d.WaitChange(id, seen, stop)
+		if !ok || stop() {
+			return
+		}
+		buf, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+			return
+		}
+		fl.Flush()
+		if terminal(st.State) {
+			return
+		}
+		seen = version
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(buf, '\n'))
+}

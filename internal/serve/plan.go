@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"dlpic/internal/campaign"
+	"dlpic/internal/experiments"
+	"dlpic/internal/pic"
+	"dlpic/internal/sweep"
+)
+
+// plan compiles a job's spec into an executable campaign: method
+// registry, scenario grid, progress plumbing and the drain interrupt.
+// It mirrors the CLI's -scan path with two service-specific twists —
+// model bundles always persist into the daemon's shared bundle
+// directory, and batched DL methods draw their inference servers from
+// the daemon's pool so concurrent campaigns share one live server per
+// model identity.
+func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
+	spec := j.spec
+	names, needMLP, needCNN, err := experiments.ResolveMethodNames(strings.Join(spec.Methods, ","))
+	if err != nil {
+		return campaign.Spec{}, 0, err
+	}
+
+	var provider experiments.PipelineProvider
+	base := pic.Default()
+	base.ParticlesPerCell = spec.PPC
+	if needMLP || needCNN {
+		pipeOpts := experiments.Options{
+			Tiny:         spec.Scale == ScaleTiny,
+			Paper:        spec.Scale == ScalePaper,
+			Seed:         spec.Seed,
+			Log:          d.cfg.Log,
+			SkipCNN:      !needCNN,
+			TrainWorkers: d.cfg.TrainWorkers,
+			BundleDir:    d.BundleDir(),
+		}
+		base = pipeOpts.BaseConfig()
+		provider = experiments.NewPipelineProvider(pipeOpts)
+	}
+	mc := experiments.MethodConfig{Batched: spec.Batched, MaxBatch: spec.MaxBatch}
+	if spec.Batched {
+		mc.Pool = d.pool
+		// Everything the pooled server depends on: the training
+		// identity inputs (scale, seed — the shared bundle directory
+		// fixes the rest) plus the method and the flush cap.
+		mc.PoolKey = func(method string) string {
+			return fmt.Sprintf("%s|seed=%d|%s|mb=%d", spec.Scale, spec.Seed, method, spec.MaxBatch)
+		}
+	}
+	specs, _, err := experiments.MethodsWith(provider, names, mc)
+	if err != nil {
+		return campaign.Spec{}, 0, err
+	}
+
+	scenarios := sweep.Grid(base, spec.V0s, spec.Vths, spec.Repeats, spec.Steps, spec.Seed)
+	total := len(scenarios) * len(specs)
+	return campaign.Spec{
+		Scenarios: scenarios,
+		Opts: sweep.Options{
+			Workers: d.cfg.SweepWorkers,
+			Methods: specs,
+			Progress: func(done, n int) {
+				d.setProgress(j, done, n)
+			},
+		},
+		Interrupt: d.drainingNow,
+	}, total, nil
+}
+
+// readJSONFile decodes one JSON file into v; a missing file surfaces
+// as os.IsNotExist.
+func readJSONFile(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// writeJSONFileAtomic writes v as JSON with the artifact store's
+// durability pattern: encode to a temp file, fsync, rename into place.
+// A kill at any point leaves either no file or a complete one.
+func writeJSONFileAtomic(path string, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

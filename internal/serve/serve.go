@@ -1,0 +1,477 @@
+// Package serve turns campaign execution into a long-running service:
+// a daemon that accepts campaign specs over HTTP, runs them on a
+// bounded executor pool, and survives both graceful drains and kill -9
+// by leaning on the campaign journal for resume.
+//
+// Identity model. Every submitted spec is normalized and
+// content-addressed (CampaignSpec.ID); the job id keys everything —
+// the on-disk spec file, the campaign journal, the result file, and
+// in-memory dedup. Submitting a spec the daemon already knows returns
+// the existing job instead of enqueueing a duplicate, so N clients
+// racing to submit the same campaign cost one computation.
+//
+// Persistence protocol. DataDir holds, per job, "<id>.spec.json"
+// (written atomically at admission), "<id>.jsonl" (the campaign
+// journal, appended cell by cell while the job runs) and
+// "<id>.result.json" (written atomically at completion). A restarting
+// daemon replays the directory: spec with result loads as a terminal
+// job, spec without result re-enqueues — and the journal then restores
+// every completed cell bit-identically, so the resumed run recomputes
+// only what the crash interrupted. Model bundles live in a shared
+// "bundles" subdirectory keyed by training fingerprints, so jobs
+// whose specs imply the same trained model share one artifact (the
+// experiments-layer training singleflight makes concurrent builds of
+// one fingerprint train once).
+//
+// Drain protocol. Drain stops the executors at the next cell boundary
+// (campaign.Spec.Interrupt), marks in-flight jobs interrupted without
+// writing a result file, and closes the shared inference pool.
+// Submissions during a drain are refused (503). Because interrupted
+// jobs keep their spec-without-result state on disk, the next daemon
+// start resumes them automatically.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dlpic/internal/batch"
+	"dlpic/internal/campaign"
+)
+
+// Job states reported by JobStatus.State. Queued and running are
+// transient; done and failed are terminal and persisted; interrupted
+// is terminal only for the current process — the job's spec stays
+// result-less on disk, so a restarted daemon re-enqueues it.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted"
+)
+
+// Config configures a Daemon. The zero value of every field but
+// DataDir is usable.
+type Config struct {
+	// DataDir is the daemon's persistent root: specs, journals,
+	// results, and the shared bundles/ directory. Required.
+	DataDir string
+	// QueueCap bounds the admission queue; a submission arriving with
+	// QueueCap jobs already queued is refused with 429 (<= 0 selects 8).
+	QueueCap int
+	// Executors is the number of concurrent campaign runners (<= 0
+	// selects 1).
+	Executors int
+	// SweepWorkers is the per-campaign sweep pool size (0 = one per
+	// core, the sweep engine's default).
+	SweepWorkers int
+	// TrainWorkers is the training parallelism handed to the
+	// experiments pipeline (0 = its default).
+	TrainWorkers int
+	// Log receives the daemon's progress lines (nil = discard).
+	Log io.Writer
+}
+
+// job is the daemon-internal state of one campaign.
+type job struct {
+	id     string
+	spec   CampaignSpec // normalized
+	state  string
+	done   int
+	total  int
+	digest string
+	failed int
+	errMsg string
+	// version increments on every observable change; streamers wait on
+	// the daemon cond for it to move.
+	version int
+}
+
+// JobStatus is the wire-format snapshot of one job.
+type JobStatus struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Done   int          `json:"done"`
+	Total  int          `json:"total"`
+	Digest string       `json:"digest,omitempty"`
+	Failed int          `json:"failed,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Spec   CampaignSpec `json:"spec"`
+}
+
+// Daemon is the campaign service: admission queue, executor pool,
+// shared batched-inference pool, and the persistence protocol above.
+// One mutex plus one condition variable order everything; the cond is
+// broadcast on every observable change so pollers, streamers, drain
+// waiters and executors all share a single wakeup discipline.
+type Daemon struct {
+	cfg  Config
+	pool *batch.Pool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*job
+	queue     []*job
+	draining  bool
+	executors int
+}
+
+// New builds a daemon over cfg.DataDir, replays the directory's
+// jobs (terminal ones load, unfinished ones re-enqueue for
+// journal-backed resume) and starts the executor pool.
+func New(cfg Config) (*Daemon, error) {
+	return newDaemon(cfg, true)
+}
+
+// newDaemon is New with the executor pool optional, so tests can drive
+// admission and dedup against a deterministically idle daemon.
+func newDaemon(cfg Config, startExecutors bool) (*Daemon, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: Config.DataDir is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 8
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: data dir: %w", err)
+	}
+	d := &Daemon{cfg: cfg, pool: batch.NewPool(), jobs: map[string]*job{}}
+	d.cond = sync.NewCond(&d.mu)
+	if err := d.replay(); err != nil {
+		return nil, err
+	}
+	if startExecutors {
+		d.mu.Lock()
+		d.executors = cfg.Executors
+		d.mu.Unlock()
+		for i := 0; i < cfg.Executors; i++ {
+			go d.executor()
+		}
+	}
+	return d, nil
+}
+
+// replay loads the persisted jobs of DataDir in sorted (deterministic)
+// order: spec+result = terminal, spec alone = re-enqueued.
+func (d *Daemon) replay() error {
+	specs, err := filepath.Glob(filepath.Join(d.cfg.DataDir, "*.spec.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(specs)
+	for _, path := range specs {
+		id := strings.TrimSuffix(filepath.Base(path), ".spec.json")
+		var spec CampaignSpec
+		if err := readJSONFile(path, &spec); err != nil {
+			return fmt.Errorf("serve: replay %s: %w", path, err)
+		}
+		spec = spec.normalized()
+		if got := spec.ID(); got != id {
+			return fmt.Errorf("serve: replay %s: spec hashes to %s", path, got)
+		}
+		j := &job{id: id, spec: spec}
+		var res resultFile
+		switch err := readJSONFile(d.resultPath(id), &res); {
+		case err == nil:
+			j.digest, j.failed, j.errMsg = res.Digest, res.Failed, res.Error
+			j.done, j.total = res.Cells, res.Cells
+			j.state = StateDone
+			if res.Error != "" {
+				j.state = StateFailed
+			}
+		case os.IsNotExist(err):
+			// Unfinished (queued at shutdown, or killed mid-run): the
+			// journal carries whatever completed; re-enqueue to resume.
+			j.state = StateQueued
+			d.queue = append(d.queue, j)
+			d.logf("[serve] replay: resuming job %s", id)
+		default:
+			return fmt.Errorf("serve: replay result of %s: %w", id, err)
+		}
+		d.jobs[id] = j
+	}
+	return nil
+}
+
+// Submit admits a spec: it normalizes, validates and content-addresses
+// it, dedups against every known job, and enqueues a new one. The
+// returned bool reports whether the job is new (false = deduped onto
+// an existing job). ErrQueueFull and ErrDraining are admission
+// refusals; other errors are invalid specs.
+func (d *Daemon) Submit(spec CampaignSpec) (JobStatus, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, false, err
+	}
+	n := spec.normalized()
+	id := n.ID()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j, ok := d.jobs[id]; ok {
+		return d.statusLocked(j), false, nil
+	}
+	if d.draining {
+		return JobStatus{}, false, ErrDraining
+	}
+	if len(d.queue) >= d.cfg.QueueCap {
+		return JobStatus{}, false, ErrQueueFull
+	}
+	// Persist the spec before exposing the job: a daemon killed right
+	// after the 202 must still know the job at restart.
+	if err := writeJSONFileAtomic(d.specPath(id), n); err != nil {
+		return JobStatus{}, false, fmt.Errorf("serve: persist spec: %w", err)
+	}
+	j := &job{id: id, spec: n, state: StateQueued}
+	d.jobs[id] = j
+	d.queue = append(d.queue, j)
+	d.cond.Broadcast()
+	d.logf("[serve] job %s queued (%d in queue)", id, len(d.queue))
+	return d.statusLocked(j), true, nil
+}
+
+// Admission-refusal sentinels: the queue is full (HTTP 429) or the
+// daemon is draining (HTTP 503).
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: daemon draining")
+)
+
+// Status returns the snapshot of one job.
+func (d *Daemon) Status(id string) (JobStatus, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return d.statusLocked(j), true
+}
+
+// Jobs returns every known job's snapshot, sorted by id.
+func (d *Daemon) Jobs() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.jobs))
+	for id := range d.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]JobStatus, len(ids))
+	for i, id := range ids {
+		out[i] = d.statusLocked(d.jobs[id])
+	}
+	return out
+}
+
+// WaitChange blocks until the job's version differs from seen, the job
+// reaches a terminal-for-this-process state, or stop returns true; it
+// returns the fresh snapshot and version. Streamers drive it in a
+// loop, passing a stop that reflects their connection context.
+func (d *Daemon) WaitChange(id string, seen int, stop func() bool) (JobStatus, int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobStatus{}, 0, false
+	}
+	for j.version == seen && !terminal(j.state) && !stop() {
+		d.cond.Wait()
+	}
+	return d.statusLocked(j), j.version, true
+}
+
+// Wake broadcasts the daemon's condition variable. Streamers call it
+// when their connection dies so their WaitChange loop re-checks stop.
+func (d *Daemon) Wake() {
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Drain stops accepting work, interrupts running campaigns at the next
+// cell boundary, waits for the executors to exit, and closes the
+// shared inference pool. Idempotent; safe to call on a daemon whose
+// executors were never started.
+func (d *Daemon) Drain() {
+	d.mu.Lock()
+	if !d.draining {
+		d.draining = true
+		d.cond.Broadcast()
+		d.logf("[serve] draining")
+	}
+	for d.executors > 0 {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+	d.pool.Close()
+}
+
+// terminal reports whether a state ends a job for this process.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateInterrupted
+}
+
+func (d *Daemon) statusLocked(j *job) JobStatus {
+	return JobStatus{
+		ID: j.id, State: j.state, Done: j.done, Total: j.total,
+		Digest: j.digest, Failed: j.failed, Error: j.errMsg, Spec: j.spec,
+	}
+}
+
+func (d *Daemon) specPath(id string) string {
+	return filepath.Join(d.cfg.DataDir, id+".spec.json")
+}
+
+// JournalPath returns the campaign journal of one job id.
+func (d *Daemon) JournalPath(id string) string {
+	return filepath.Join(d.cfg.DataDir, id+".jsonl")
+}
+
+func (d *Daemon) resultPath(id string) string {
+	return filepath.Join(d.cfg.DataDir, id+".result.json")
+}
+
+// BundleDir returns the shared model-bundle directory all jobs key
+// their trained artifacts into.
+func (d *Daemon) BundleDir() string {
+	return filepath.Join(d.cfg.DataDir, "bundles")
+}
+
+func (d *Daemon) drainingNow() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	fmt.Fprintf(d.cfg.Log, format+"\n", args...)
+}
+
+// executor is one runner goroutine: pop, run, repeat, exit on drain.
+func (d *Daemon) executor() {
+	for {
+		j := d.next()
+		if j == nil {
+			return
+		}
+		d.runJob(j)
+	}
+}
+
+// next blocks for the next queued job; nil means the daemon is
+// draining and the executor must exit (its exit is what Drain waits
+// on).
+func (d *Daemon) next() *job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.draining {
+			d.executors--
+			d.cond.Broadcast()
+			return nil
+		}
+		if len(d.queue) > 0 {
+			j := d.queue[0]
+			d.queue = d.queue[1:]
+			j.state = StateRunning
+			j.version++
+			d.cond.Broadcast()
+			return j
+		}
+		d.cond.Wait()
+	}
+}
+
+// setProgress publishes a running job's cell counter.
+func (d *Daemon) setProgress(j *job, done, total int) {
+	d.mu.Lock()
+	j.done, j.total = done, total
+	j.version++
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// finish publishes a job's end-of-run state.
+func (d *Daemon) finish(j *job, state string, digest string, failed int, errMsg string) {
+	d.mu.Lock()
+	j.state, j.digest, j.failed, j.errMsg = state, digest, failed, errMsg
+	j.version++
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.logf("[serve] job %s %s", j.id, state)
+}
+
+// resultFile is the persisted completion record of one job.
+type resultFile struct {
+	ID     string `json:"id"`
+	Digest string `json:"digest,omitempty"`
+	Cells  int    `json:"cells"`
+	Failed int    `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// runJob executes one campaign end to end: plan, run against the
+// job's journal (resuming whatever an earlier process completed),
+// classify the outcome, persist it. Interrupted runs persist nothing —
+// their journal is their checkpoint.
+func (d *Daemon) runJob(j *job) {
+	cspec, total, err := d.plan(j)
+	if err != nil {
+		d.persistFailure(j, total, fmt.Errorf("plan: %w", err))
+		return
+	}
+	d.mu.Lock()
+	j.total = total
+	j.version++
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	results, err := campaign.Run(d.JournalPath(j.id), cspec)
+	if err != nil {
+		d.persistFailure(j, total, err)
+		return
+	}
+	if campaign.Interrupted(results) {
+		// Drained mid-run: completed cells are journaled, the rest
+		// pending. No result file — the next daemon start resumes.
+		d.finish(j, StateInterrupted, "", 0, "")
+		return
+	}
+	failed := 0
+	for i := range results {
+		if results[i].Err != nil {
+			failed++
+		}
+	}
+	res := resultFile{ID: j.id, Digest: campaign.Digest(results), Cells: len(results), Failed: failed}
+	if err := writeJSONFileAtomic(d.resultPath(j.id), res); err != nil {
+		d.persistFailure(j, total, fmt.Errorf("persist result: %w", err))
+		return
+	}
+	d.mu.Lock()
+	j.done, j.total = total, total
+	d.mu.Unlock()
+	d.finish(j, StateDone, res.Digest, failed, "")
+}
+
+// persistFailure records a job-level failure (not per-cell: those live
+// in the digest) both in memory and on disk, so a restart does not
+// retry a deterministically failing job forever.
+func (d *Daemon) persistFailure(j *job, total int, err error) {
+	res := resultFile{ID: j.id, Cells: total, Error: err.Error()}
+	if werr := writeJSONFileAtomic(d.resultPath(j.id), res); werr != nil {
+		d.logf("[serve] job %s: persist failure record: %v", j.id, werr)
+	}
+	d.finish(j, StateFailed, "", 0, err.Error())
+}

@@ -1,0 +1,561 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dlpic/internal/campaign"
+	"dlpic/internal/experiments"
+	"dlpic/internal/pic"
+	"dlpic/internal/sweep"
+)
+
+// testSpec is a seconds-scale model-free campaign: 2 scenarios x 2
+// methods = 4 cells.
+func testSpec() CampaignSpec {
+	return CampaignSpec{
+		V0s: []float64{0.15, 0.2}, Vths: []float64{0.01},
+		Steps: 12, PPC: 40, Seed: 3,
+		Methods: []string{experiments.MethodTraditional, experiments.MethodOracle},
+	}
+}
+
+// serialDigest runs the spec's campaign directly — no daemon, no
+// journal — mirroring the planner's construction, and returns its
+// digest. This is the service's correctness oracle: whatever the
+// daemon's queueing, deduping and resuming do, the digest must land
+// here.
+func serialDigest(t *testing.T, spec CampaignSpec) string {
+	t.Helper()
+	n := spec.normalized()
+	names, _, _, err := experiments.ResolveMethodNames(strings.Join(n.Methods, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pic.Default()
+	base.ParticlesPerCell = n.PPC
+	specs, cleanup, err := experiments.MethodsWith(nil, names, experiments.MethodConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	results, err := campaign.Run("", campaign.Spec{
+		Scenarios: sweep.Grid(base, n.V0s, n.Vths, n.Repeats, n.Steps, n.Seed),
+		Opts:      sweep.Options{Workers: 2, Methods: specs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	return campaign.Digest(results)
+}
+
+// waitTerminal blocks until the job leaves its transient states.
+func waitTerminal(t *testing.T, d *Daemon, id string) JobStatus {
+	t.Helper()
+	seen := -1
+	for {
+		st, version, ok := d.WaitChange(id, seen, func() bool { return false })
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if terminal(st.State) {
+			return st
+		}
+		seen = version
+	}
+}
+
+// submit POSTs a spec and decodes the response status.
+func submit(t *testing.T, url string, spec CampaignSpec) (JobStatus, int) {
+	t.Helper()
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/campaigns", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// TestSubmitPollDigest is the end-to-end happy path: submit over HTTP,
+// follow the job to done, and match the digest of a direct serial
+// campaign run.
+func TestSubmitPollDigest(t *testing.T) {
+	d, err := New(Config{DataDir: t.TempDir(), SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Drain()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	st, code := submit(t, srv.URL, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d, want 202", code)
+	}
+	final := waitTerminal(t, d, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (error %q), want done", final.State, final.Error)
+	}
+	if final.Failed != 0 || final.Done != 4 || final.Total != 4 {
+		t.Fatalf("job counters off: %+v", final)
+	}
+	if want := serialDigest(t, testSpec()); final.Digest != want {
+		t.Fatalf("daemon digest %s != serial digest %s", final.Digest, want)
+	}
+
+	// The snapshot endpoints agree with the stream's terminal state.
+	resp, err := http.Get(srv.URL + "/campaigns/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Digest != final.Digest || got.State != StateDone {
+		t.Fatalf("GET snapshot %+v disagrees with terminal state", got)
+	}
+	if resp, err := http.Get(srv.URL + "/campaigns/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestAdmissionAndDedup drives admission control against a daemon whose
+// executors never start, so the queue state is deterministic: dedup
+// returns the existing job, the full queue refuses with 429, invalid
+// specs with 400, and a draining daemon with 503.
+func TestAdmissionAndDedup(t *testing.T) {
+	d, err := newDaemon(Config{DataDir: t.TempDir(), QueueCap: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	a := testSpec()
+	stA, code := submit(t, srv.URL, a)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d, want 202", code)
+	}
+	stA2, code := submit(t, srv.URL, a)
+	if code != http.StatusOK || stA2.ID != stA.ID {
+		t.Fatalf("duplicate submit: %d id %s, want 200 id %s", code, stA2.ID, stA.ID)
+	}
+	b := testSpec()
+	b.Seed = 99
+	if _, code := submit(t, srv.URL, b); code != http.StatusAccepted {
+		t.Fatalf("second distinct submit: %d, want 202", code)
+	}
+	c := testSpec()
+	c.Seed = 100
+	if _, code := submit(t, srv.URL, c); code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: %d, want 429", code)
+	}
+
+	bad := testSpec()
+	bad.Methods = []string{"nope"}
+	if _, code := submit(t, srv.URL, bad); code != http.StatusBadRequest {
+		t.Fatalf("unknown-method submit: %d, want 400", code)
+	}
+	bad = testSpec()
+	bad.Scale = "galactic"
+	if _, code := submit(t, srv.URL, bad); code != http.StatusBadRequest {
+		t.Fatalf("unknown-scale submit: %d, want 400", code)
+	}
+	bad = testSpec()
+	bad.V0s = nil
+	if _, code := submit(t, srv.URL, bad); code != http.StatusBadRequest {
+		t.Fatalf("empty-axis submit: %d, want 400", code)
+	}
+
+	d.Drain() // no executors: returns once the pool is closed
+	fresh := testSpec()
+	fresh.Seed = 101
+	if _, code := submit(t, srv.URL, fresh); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: %d, want 503", code)
+	}
+	// Dedup still answers during a drain — the job exists.
+	if _, code := submit(t, srv.URL, a); code != http.StatusOK {
+		t.Fatalf("draining duplicate submit: %d, want 200", code)
+	}
+}
+
+// TestSpecIdentityNormalization pins the content addressing: spelled
+// defaults and omitted defaults produce one ID, and identity-neutral
+// fields (PPC under a DL method, MaxBatch without Batched) do not
+// split jobs.
+func TestSpecIdentityNormalization(t *testing.T) {
+	a := CampaignSpec{V0s: []float64{0.2}, Vths: []float64{0}}
+	b := CampaignSpec{
+		Scale: ScaleTiny, V0s: []float64{0.2}, Vths: []float64{0},
+		Repeats: 1, Steps: 200, PPC: 250,
+		Methods: []string{experiments.MethodTraditional},
+	}
+	if a.ID() != b.ID() {
+		t.Fatal("default spelling split the spec identity")
+	}
+	c := CampaignSpec{V0s: []float64{0.2}, Vths: []float64{0}, Methods: []string{experiments.MethodMLP}}
+	cp := c
+	cp.PPC = 777 // forced to zero under a DL method
+	if c.ID() != cp.ID() {
+		t.Fatal("PPC split a DL spec identity")
+	}
+	cb := c
+	cb.MaxBatch = 8 // meaningless without Batched
+	if c.ID() != cb.ID() {
+		t.Fatal("MaxBatch without Batched split the identity")
+	}
+	cb.Batched = true
+	if c.ID() == cb.ID() {
+		t.Fatal("Batched did not change the identity")
+	}
+	d := c
+	d.Seed = 1
+	if c.ID() == d.ID() {
+		t.Fatal("seed did not change the identity")
+	}
+}
+
+// TestStream follows the SSE feed of one job: monotone non-decreasing
+// done counters, terminal event state done with the digest, stream
+// closed by the server afterwards.
+func TestStream(t *testing.T) {
+	d, err := New(Config{DataDir: t.TempDir(), SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Drain()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	st, code := submit(t, srv.URL, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/campaigns/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobStatus
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("stream delivered no events")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Done < events[i-1].Done {
+			t.Fatalf("done counter went backwards: %d after %d", events[i].Done, events[i-1].Done)
+		}
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone || last.Digest == "" || last.Done != 4 {
+		t.Fatalf("terminal event %+v", last)
+	}
+	if _, err := http.Get(srv.URL + "/campaigns/nope/stream"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIdenticalSubmissions is the dedup property: N clients
+// racing to submit one spec get one job id, exactly one creation, one
+// journal on disk, and a digest bit-identical to the serial run.
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(Config{DataDir: dir, SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Drain()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	const n = 6
+	codes := make([]int, n)
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, code := submit(t, srv.URL, testSpec())
+			codes[i], ids[i] = code, st.ID
+		}(i)
+	}
+	wg.Wait()
+	created := 0
+	for i := 0; i < n; i++ {
+		switch codes[i] {
+		case http.StatusAccepted:
+			created++
+		case http.StatusOK:
+		default:
+			t.Fatalf("submission %d: status %d", i, codes[i])
+		}
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d: id %s != %s", i, ids[i], ids[0])
+		}
+	}
+	if created != 1 {
+		t.Fatalf("%d submissions created jobs, want exactly 1", created)
+	}
+	final := waitTerminal(t, d, ids[0])
+	if final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journals) != 1 {
+		t.Fatalf("%d journals on disk, want 1 (%v)", len(journals), journals)
+	}
+	if want := serialDigest(t, testSpec()); final.Digest != want {
+		t.Fatalf("deduped digest %s != serial %s", final.Digest, want)
+	}
+}
+
+// TestResumeOnRestart is the crash-recovery property: a data directory
+// holding a spec and a torn journal — the disk state a kill -9 leaves —
+// is picked up by a fresh daemon, which re-enqueues the job, resumes
+// from the journal, and lands on the uninterrupted run's digest.
+func TestResumeOnRestart(t *testing.T) {
+	// First life: run the campaign to completion to get the reference
+	// digest and a full journal.
+	dir1 := t.TempDir()
+	d1, err := New(Config{DataDir: dir1, SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, created, err := d1.Submit(testSpec())
+	if err != nil || !created {
+		t.Fatalf("submit: %v created=%t", err, created)
+	}
+	ref := waitTerminal(t, d1, st.ID)
+	if ref.State != StateDone {
+		t.Fatalf("reference run ended %s", ref.State)
+	}
+	d1.Drain()
+
+	// Fabricate the crash state: spec present, first half of the
+	// journal, no result file.
+	dir2 := t.TempDir()
+	copyFile := func(name string) {
+		buf, err := os.ReadFile(filepath.Join(dir1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, name), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyFile(st.ID + ".spec.json")
+	buf, err := os.ReadFile(filepath.Join(dir1, st.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(buf), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("reference journal has %d lines, want >= 4", len(lines))
+	}
+	torn := strings.Join(lines[:2], "")
+	if err := os.WriteFile(filepath.Join(dir2, st.ID+".jsonl"), []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the daemon must resume the job unprompted.
+	d2, err := New(Config{DataDir: dir2, SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Drain()
+	resumed := waitTerminal(t, d2, st.ID)
+	if resumed.State != StateDone {
+		t.Fatalf("resumed run ended %s: %s", resumed.State, resumed.Error)
+	}
+	if resumed.Digest != ref.Digest {
+		t.Fatalf("resumed digest %s != reference %s", resumed.Digest, ref.Digest)
+	}
+
+	// Third life: now terminal, the job loads as done without re-running
+	// (its journal must not grow).
+	before, err := os.ReadFile(filepath.Join(dir2, st.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := newDaemon(Config{DataDir: dir2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d3.Status(st.ID)
+	if !ok || got.State != StateDone || got.Digest != ref.Digest {
+		t.Fatalf("terminal replay: %+v", got)
+	}
+	after, err := os.ReadFile(filepath.Join(dir2, st.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("terminal replay touched the journal")
+	}
+}
+
+// TestSharedBundleAcrossJobs is the shared-cache property: two DL jobs
+// whose specs imply one training fingerprint, running concurrently on
+// two executors, train once — one bundle file — and both finish; and
+// the batched variant of a spec lands on the unbatched variant's
+// digest while drawing its server from the daemon's pool.
+func TestSharedBundleAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains tiny MLPs")
+	}
+	dir := t.TempDir()
+	d, err := New(Config{DataDir: dir, Executors: 2, SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Drain()
+
+	mlp := CampaignSpec{
+		Scale: ScaleTiny, V0s: []float64{0.15}, Vths: []float64{0.01},
+		Steps: 6, Seed: 5, Methods: []string{experiments.MethodMLP},
+	}
+	batched := mlp
+	batched.Batched = true
+	stA, createdA, err := d.Submit(mlp)
+	if err != nil || !createdA {
+		t.Fatalf("submit mlp: %v", err)
+	}
+	stB, createdB, err := d.Submit(batched)
+	if err != nil || !createdB {
+		t.Fatalf("submit batched mlp: %v", err)
+	}
+	if stA.ID == stB.ID {
+		t.Fatal("batched and unbatched specs collapsed onto one id")
+	}
+	finalA := waitTerminal(t, d, stA.ID)
+	finalB := waitTerminal(t, d, stB.ID)
+	if finalA.State != StateDone || finalB.State != StateDone {
+		t.Fatalf("jobs ended %s / %s (%s / %s)", finalA.State, finalB.State, finalA.Error, finalB.Error)
+	}
+	if finalA.Digest != finalB.Digest {
+		t.Fatalf("batched digest %s != per-call digest %s", finalB.Digest, finalA.Digest)
+	}
+	bundles, err := filepath.Glob(filepath.Join(d.BundleDir(), "*.dlpic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("%d bundles persisted, want 1 shared (%v)", len(bundles), bundles)
+	}
+}
+
+// TestFailedJobReplay pins the failed-job protocol: a persisted result
+// file carrying an error replays as a terminal failed job, so a
+// restart never retries a deterministically failing campaign forever.
+func TestFailedJobReplay(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec().normalized()
+	id := spec.ID()
+	if err := writeJSONFileAtomic(filepath.Join(dir, id+".spec.json"), spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONFileAtomic(filepath.Join(dir, id+".result.json"),
+		resultFile{ID: id, Cells: 4, Error: "plan: boom"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon(Config{DataDir: dir}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := d.Status(id)
+	if !ok || st.State != StateFailed || st.Error != "plan: boom" {
+		t.Fatalf("failed job replayed as %+v", st)
+	}
+}
+
+// TestJobsListing checks /campaigns returns every job sorted by id.
+func TestJobsListing(t *testing.T) {
+	d, err := newDaemon(Config{DataDir: t.TempDir(), QueueCap: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	var want []string
+	for i := 0; i < 3; i++ {
+		s := testSpec()
+		s.Seed = uint64(10 + i)
+		st, code := submit(t, srv.URL, s)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, code)
+		}
+		want = append(want, st.ID)
+	}
+	resp, err := http.Get(srv.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Fatalf("listing not sorted: %s after %s", got[i].ID, got[i-1].ID)
+		}
+	}
+	listed := map[string]bool{}
+	for _, st := range got {
+		listed[st.ID] = true
+	}
+	for _, id := range want {
+		if !listed[id] {
+			t.Fatalf("job %s missing from listing", id)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dlpic/internal/experiments"
+)
+
+// Scale names accepted by CampaignSpec.Scale, mirroring the experiment
+// pipeline's three operating points.
+const (
+	ScaleTiny   = "tiny"
+	ScaleScaled = "scaled"
+	ScalePaper  = "paper"
+)
+
+// CampaignSpec is the wire-format description of one campaign job: the
+// scenario grid axes crossed with a method registry, plus the scale
+// knobs the experiments pipeline needs when a DL method is requested.
+// It deliberately mirrors the `experiments -scan` flag surface — a spec
+// is a scan request that outlives the request connection.
+//
+// Specs are content-addressed: ID is a fingerprint of the normalized
+// spec, so two submissions that mean the same campaign collapse onto
+// one job no matter how they spell defaults. The zero values of
+// optional fields are therefore semantic: Methods defaults to
+// traditional-only, Scale to tiny, Repeats to 1, Steps to 200; PPC
+// defaults to 250 for model-free campaigns and is *forced* to zero
+// when a DL method is present (the trained model fixes the base
+// configuration, so a stray PPC must not split identical jobs into
+// distinct IDs).
+type CampaignSpec struct {
+	// Scale selects the pipeline operating point (tiny, scaled, paper).
+	// Model-free campaigns ignore it physically but it stays part of
+	// the identity, normalized to tiny.
+	Scale string `json:"scale,omitempty"`
+	// V0s and Vths are the scan grid axes (beam drift and thermal
+	// velocities). Required, non-empty.
+	V0s  []float64 `json:"v0s"`
+	Vths []float64 `json:"vths"`
+	// Repeats replicates each grid point with distinct seeds.
+	Repeats int `json:"repeats,omitempty"`
+	// Steps is the per-scenario step count.
+	Steps int `json:"steps,omitempty"`
+	// PPC overrides particles per cell for model-free campaigns.
+	PPC int `json:"ppc,omitempty"`
+	// Seed drives scenario seeding and, for DL methods, the pipeline.
+	Seed uint64 `json:"seed,omitempty"`
+	// Methods is the comparison registry (see experiments.KnownMethods).
+	Methods []string `json:"methods,omitempty"`
+	// Batched routes DL field solves through the daemon's shared
+	// batched-inference pool; MaxBatch caps one flush (<= 0 default).
+	// Both are identity-neutral for model-free campaigns (forced to
+	// zero: they change nothing there).
+	Batched  bool `json:"batched,omitempty"`
+	MaxBatch int  `json:"max_batch,omitempty"`
+}
+
+// normalized returns the canonical form of the spec: defaults filled
+// in, identity-neutral fields zeroed. ID and the planner both consume
+// only normalized specs.
+func (s CampaignSpec) normalized() CampaignSpec {
+	n := s
+	if n.Scale == "" {
+		n.Scale = ScaleTiny
+	}
+	if len(n.Methods) == 0 {
+		n.Methods = []string{experiments.MethodTraditional}
+	}
+	if n.Repeats <= 0 {
+		n.Repeats = 1
+	}
+	if n.Steps <= 0 {
+		n.Steps = 200
+	}
+	needDL := false
+	for _, m := range n.Methods {
+		if m == experiments.MethodMLP || m == experiments.MethodCNN {
+			needDL = true
+		}
+	}
+	if needDL {
+		// The trained model fixes the base configuration; PPC is
+		// meaningless and must not split identities.
+		n.PPC = 0
+	} else {
+		if n.PPC <= 0 {
+			n.PPC = 250
+		}
+		// Batching only exists for DL methods.
+		n.Batched = false
+		n.MaxBatch = 0
+	}
+	if !n.Batched {
+		n.MaxBatch = 0
+	}
+	return n
+}
+
+// Validate checks the normalized spec, returning a submission-refusing
+// error (HTTP 400) on the first problem.
+func (s CampaignSpec) Validate() error {
+	n := s.normalized()
+	switch n.Scale {
+	case ScaleTiny, ScaleScaled, ScalePaper:
+	default:
+		return fmt.Errorf("serve: unknown scale %q (want %s, %s or %s)",
+			n.Scale, ScaleTiny, ScaleScaled, ScalePaper)
+	}
+	if len(n.V0s) == 0 || len(n.Vths) == 0 {
+		return fmt.Errorf("serve: empty scan axes (v0s x vths is the scenario grid)")
+	}
+	if _, _, _, err := experiments.ResolveMethodNames(strings.Join(n.Methods, ",")); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ID returns the job identity of the spec: 16 hex characters of the
+// SHA-256 of its canonical (normalized) JSON encoding under a version
+// prefix. Two specs with one ID describe bit-identical campaigns, so
+// the daemon dedups submissions and shares journals and results on it.
+func (s CampaignSpec) ID() string {
+	buf, err := json.Marshal(s.normalized())
+	if err != nil {
+		// Unreachable: the spec is plain data with no cycles and no
+		// unencodable types.
+		panic(fmt.Sprintf("serve: encode spec: %v", err))
+	}
+	h := sha256.Sum256(append([]byte("dlpicd-spec-v1|"), buf...))
+	return hex.EncodeToString(h[:8])
+}

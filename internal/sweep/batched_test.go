@@ -108,6 +108,85 @@ func TestBatchedSweepMatchesPerCall(t *testing.T) {
 	}
 }
 
+// TestLateJoinerSweepMatchesPerCall pins the server's join/leave
+// registration contract across sweep generations: after a first sweep's
+// clients have all registered, predicted and left, a *second* sweep's
+// late-joining clients on the same live server produce results
+// bit-identical to the per-call path. This is the seam the campaign
+// service leans on — many campaigns share one inference server through
+// batch.Pool instead of constructing one server per sweep.
+func TestLateJoinerSweepMatchesPerCall(t *testing.T) {
+	solver, scs := dlFixture(t)
+	perCall := runKeys(t, scs, sweep.Options{
+		Workers: 1,
+		Methods: []sweep.MethodSpec{{Name: "mlp", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+			return solver.Clone()
+		}}},
+	})
+	bs, err := batch.FromNNSolver(solver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	batchedOpts := sweep.Options{Workers: 4,
+		Methods: []sweep.MethodSpec{{Name: "mlp-batched", Batcher: bs}}}
+	// Generation 1: a full sweep joins and leaves the live server.
+	first := runKeys(t, scs, batchedOpts)
+	// Generation 2: late joiners register on the same, still-running
+	// server after every generation-1 client has unregistered.
+	second := runKeys(t, scs, batchedOpts)
+	for i := range perCall {
+		if first[i] != perCall[i] {
+			t.Fatalf("generation 1 scenario %d diverged from per-call path", i)
+		}
+		if second[i] != perCall[i] {
+			t.Fatalf("late-joiner scenario %d diverged from per-call path", i)
+		}
+	}
+	// Both generations really hit the one server.
+	st := bs.Server.Stats()
+	want := 2 * len(scs) * (scs[0].Steps + 1)
+	if st.Requests != want {
+		t.Fatalf("shared server served %d rows, want %d across both generations", st.Requests, want)
+	}
+}
+
+// TestPooledSolverSweepMatchesPerCall runs two method-registry sweeps
+// whose batched backend is acquired from one batch.Pool under the same
+// key: the pool memoizes a single server, both sweeps' requesters
+// join/leave it, and results stay bit-identical to per-call runs.
+func TestPooledSolverSweepMatchesPerCall(t *testing.T) {
+	solver, scs := dlFixture(t)
+	perCall := runKeys(t, scs, sweep.Options{
+		Workers: 1,
+		Methods: []sweep.MethodSpec{{Name: "mlp", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+			return solver.Clone()
+		}}},
+	})
+	pool := batch.NewPool()
+	defer pool.Close()
+	build := func() (*batch.Solver, error) { return batch.FromNNSolver(solver, 0) }
+	var shared *batch.Solver
+	for gen := 0; gen < 2; gen++ {
+		bs, err := pool.Solver("mlp", build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen == 0 {
+			shared = bs
+		} else if bs != shared {
+			t.Fatal("pool handed out a second solver for one key")
+		}
+		got := runKeys(t, scs, sweep.Options{Workers: 2,
+			Methods: []sweep.MethodSpec{{Name: "mlp-batched", Batcher: bs}}})
+		for i := range perCall {
+			if got[i] != perCall[i] {
+				t.Fatalf("pooled generation %d scenario %d diverged from per-call path", gen, i)
+			}
+		}
+	}
+}
+
 // TestBatcherMethodMutuallyExclusive pins the MethodSpec contract: one
 // spec cannot carry both a per-call factory and a batched backend.
 func TestBatcherMethodMutuallyExclusive(t *testing.T) {

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -58,16 +59,28 @@ type benchFile struct {
 var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "", "output path (default stdout)")
-	diff := flag.String("diff", "", "previous benchmark JSON to diff the new numbers against (report to stderr)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind an injectable command line and streams,
+// returning the process exit code: parse the bench stream, write the
+// JSON document, optionally diff against a previous one, and fail (1)
+// on a FAIL line in the stream or an I/O error.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output path (default stdout)")
+	diff := fs.String("diff", "", "previous benchmark JSON to diff the new numbers against (report to stderr)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 	file := benchFile{Benchmarks: []benchResult{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	failed := false
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Fprintln(os.Stderr, line) // echo so the run stays visible
+		fmt.Fprintln(stderr, line) // echo so the run stays visible
 		switch {
 		case strings.HasPrefix(line, "goos: "):
 			file.GoOS = strings.TrimPrefix(line, "goos: ")
@@ -96,41 +109,42 @@ func main() {
 		file.Benchmarks = append(file.Benchmarks, res)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: read:", err)
+		return 1
 	}
 	buf, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
+		stdout.Write(buf)
 	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: write:", err)
+		return 1
 	} else {
-		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+		fmt.Fprintf(stderr, "benchjson: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
 	}
 	if *diff != "" {
 		// The diff is informational only (see package doc): a missing or
 		// malformed previous file warns without failing the run — the
 		// new numbers were already written.
-		if err := printDiff(*diff, file); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: diff (skipped):", err)
+		if err := printDiff(stderr, *diff, file); err != nil {
+			fmt.Fprintln(stderr, "benchjson: diff (skipped):", err)
 		}
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchjson: benchmark run reported FAIL")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: benchmark run reported FAIL")
+		return 1
 	}
+	return 0
 }
 
 // printDiff compares the freshly parsed benchmarks against a previously
 // committed file, reporting ns/op deltas for shared names and listing
 // added/removed ones.
-func printDiff(prevPath string, cur benchFile) error {
+func printDiff(w io.Writer, prevPath string, cur benchFile) error {
 	buf, err := os.ReadFile(prevPath)
 	if err != nil {
 		return err
@@ -143,26 +157,26 @@ func printDiff(prevPath string, cur benchFile) error {
 	for _, b := range prev.Benchmarks {
 		old[b.Name] = b
 	}
-	fmt.Fprintf(os.Stderr, "\nbenchjson: diff against %s (%d old, %d new benchmarks)\n",
+	fmt.Fprintf(w, "\nbenchjson: diff against %s (%d old, %d new benchmarks)\n",
 		prevPath, len(prev.Benchmarks), len(cur.Benchmarks))
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
 		seen[b.Name] = true
 		p, ok := old[b.Name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "  + %-60s %12.0f ns/op (new)\n", b.Name, b.NsPerOp)
+			fmt.Fprintf(w, "  + %-60s %12.0f ns/op (new)\n", b.Name, b.NsPerOp)
 			continue
 		}
 		delta := 0.0
 		if p.NsPerOp > 0 {
 			delta = 100 * (b.NsPerOp - p.NsPerOp) / p.NsPerOp
 		}
-		fmt.Fprintf(os.Stderr, "    %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+		fmt.Fprintf(w, "    %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			b.Name, p.NsPerOp, b.NsPerOp, delta)
 	}
 	for _, b := range prev.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(os.Stderr, "  - %-60s %12.0f ns/op (removed)\n", b.Name, b.NsPerOp)
+			fmt.Fprintf(w, "  - %-60s %12.0f ns/op (removed)\n", b.Name, b.NsPerOp)
 		}
 	}
 	return nil

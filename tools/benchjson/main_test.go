@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchStream is a realistic `go test -bench` transcript: headers,
+// benchmarks with and without -benchmem columns, GOMAXPROCS suffixes,
+// and noise lines the parser must ignore.
+const benchStream = `goos: linux
+goarch: amd64
+pkg: dlpic
+cpu: Imaginary CPU @ 2.40GHz
+BenchmarkTraining/mlp-4         	      10	 123456789 ns/op
+BenchmarkSweep/percall-16       	     100	   2000000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkBatched/batch=64-8     	     500	    150000.5 ns/op
+some unrelated log line
+PASS
+ok  	dlpic	42.000s
+`
+
+// runTool invokes run with captured streams.
+func runTool(t *testing.T, argv []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(argv, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// parseOut decodes the tool's JSON document.
+func parseOut(t *testing.T, s string) benchFile {
+	t.Helper()
+	var f benchFile
+	if err := json.Unmarshal([]byte(s), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, s)
+	}
+	return f
+}
+
+// TestParseStream pins the parser: headers captured, every benchmark
+// line extracted with its optional -benchmem columns, noise ignored.
+func TestParseStream(t *testing.T) {
+	code, stdout, _ := runTool(t, nil, benchStream)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	f := parseOut(t, stdout)
+	if f.GoOS != "linux" || f.GoArch != "amd64" || f.Pkg != "dlpic" || !strings.Contains(f.CPU, "Imaginary") {
+		t.Fatalf("headers wrong: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	b0 := f.Benchmarks[0]
+	if b0.Name != "Training/mlp-4" || b0.Iterations != 10 || b0.NsPerOp != 123456789 {
+		t.Fatalf("benchmark 0 wrong: %+v", b0)
+	}
+	if b0.BPerOp != 0 || b0.AllocsPerOp != 0 {
+		t.Fatalf("benchmark 0 has phantom benchmem columns: %+v", b0)
+	}
+	b1 := f.Benchmarks[1]
+	if b1.Name != "Sweep/percall-16" || b1.BPerOp != 2048 || b1.AllocsPerOp != 12 {
+		t.Fatalf("benchmark 1 wrong: %+v", b1)
+	}
+	if b2 := f.Benchmarks[2]; b2.NsPerOp != 150000.5 {
+		t.Fatalf("fractional ns/op lost: %+v", b2)
+	}
+}
+
+// TestEmptyStreamEmitsEmptyList pins that no benchmarks still produce
+// a valid document with an empty (not null) benchmarks array.
+func TestEmptyStreamEmitsEmptyList(t *testing.T) {
+	code, stdout, _ := runTool(t, nil, "PASS\n")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, `"benchmarks": []`) {
+		t.Fatalf("null instead of empty benchmarks array:\n%s", stdout)
+	}
+}
+
+// TestFailLineFailsRun: a FAIL anywhere in the stream exits 1 — the
+// numbers of a failing run must not be committed silently.
+func TestFailLineFailsRun(t *testing.T) {
+	code, _, stderr := runTool(t, nil, "FAIL\tdlpic\t1.0s\n")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "reported FAIL") {
+		t.Fatalf("missing FAIL report:\n%s", stderr)
+	}
+}
+
+// TestOutFile writes the document to -out and reports the count.
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, stdout, stderr := runTool(t, []string{"-out", path}, benchStream)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if stdout != "" {
+		t.Fatalf("stdout not empty with -out: %q", stdout)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := parseOut(t, string(buf)); len(f.Benchmarks) != 3 {
+		t.Fatalf("file holds %d benchmarks", len(f.Benchmarks))
+	}
+	if !strings.Contains(stderr, "wrote 3 benchmarks") {
+		t.Fatalf("missing write report:\n%s", stderr)
+	}
+}
+
+// TestDiffReporting pins the -diff stderr contract: shared names get a
+// delta line, new names a "+ ... (new)", vanished ones a "- ...
+// (removed)".
+func TestDiffReporting(t *testing.T) {
+	dir := t.TempDir()
+	prev := filepath.Join(dir, "prev.json")
+	prevDoc := benchFile{Benchmarks: []benchResult{
+		{Name: "Training/mlp-4", Iterations: 10, NsPerOp: 100000000},
+		{Name: "Gone/old-1", Iterations: 5, NsPerOp: 777},
+	}}
+	buf, err := json.MarshalIndent(prevDoc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(prev, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runTool(t, []string{"-diff", prev}, benchStream)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"diff against " + prev,
+		"Training/mlp-4",
+		"(+23.5%)", // 100000000 -> 123456789
+		"+ Sweep/percall-16",
+		"(new)",
+		"- Gone/old-1",
+		"(removed)",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestDiffMissingPrevWarnsWithoutFailing: the diff is informational —
+// a missing or malformed previous file must warn and exit 0 (the new
+// numbers were already written).
+func TestDiffMissingPrevWarnsWithoutFailing(t *testing.T) {
+	code, _, stderr := runTool(t, []string{"-diff", filepath.Join(t.TempDir(), "nope.json")}, benchStream)
+	if code != 0 {
+		t.Fatalf("missing prev failed the run: %d", code)
+	}
+	if !strings.Contains(stderr, "diff (skipped)") {
+		t.Fatalf("missing skip warning:\n%s", stderr)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runTool(t, []string{"-diff", bad}, benchStream)
+	if code != 0 {
+		t.Fatalf("malformed prev failed the run: %d", code)
+	}
+	if !strings.Contains(stderr, "diff (skipped)") {
+		t.Fatalf("missing skip warning for malformed prev:\n%s", stderr)
+	}
+}
+
+// TestBadFlagExitsTwo pins flag errors to the conventional exit 2.
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runTool(t, []string{"-definitely-not-a-flag"}, ""); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

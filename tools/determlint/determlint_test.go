@@ -139,7 +139,7 @@ func TestRepoLintCleanAndRacePackages(t *testing.T) {
 	// The two sanctioned concurrency homes are roots; core and
 	// experiments import them transitively.
 	for _, p := range []string{
-		"./internal/parallel/", "./internal/batch/",
+		"./internal/parallel/", "./internal/batch/", "./internal/serve/",
 		"./internal/core/", "./internal/experiments/",
 	} {
 		if !got[p] {

@@ -16,7 +16,8 @@
 //	            hash or io.Writer, fmt.Fprint*): unordered iteration
 //	            feeding ordered output.
 //	rawgo     — bare go statements, sync.WaitGroup, channels or select
-//	            outside internal/parallel and internal/batch: hot-path
+//	            outside the sanctioned concurrency packages (internal/
+//	            parallel, internal/batch, internal/serve): hot-path
 //	            concurrency must use the chunk-ordered primitives.
 //	floatfold — floating-point +=/-=/*=//= accumulation inside a loop
 //	            that receives from a channel: reduction order would

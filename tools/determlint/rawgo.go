@@ -8,24 +8,26 @@ import (
 
 // rawgoAnalyzer rejects raw concurrency — bare go statements,
 // sync.WaitGroup, channel creation/sends/receives/ranges and select —
-// everywhere in internal/ except internal/parallel and internal/batch.
-// Those two packages own ALL hot-path concurrency: parallel's
-// chunk-ordered primitives (ScatterReduce, OrderedFold, ForChunks) are
-// what make results bit-identical at any GOMAXPROCS/worker count, and
-// batch's inference server is the one sanctioned channel protocol. A
-// bare goroutine anywhere else is a reduction whose order nobody
-// pinned.
+// everywhere in internal/ except the sanctioned packages below.
+// parallel's chunk-ordered primitives (ScatterReduce, OrderedFold,
+// ForChunks) are what make results bit-identical at any
+// GOMAXPROCS/worker count; batch's inference server is the one
+// sanctioned channel protocol; serve is the daemon control plane,
+// whose goroutines manage job lifecycles and never touch a physics
+// reduction. A bare goroutine anywhere else is a reduction whose order
+// nobody pinned.
 var rawgoAnalyzer = &analyzer{
 	name: "rawgo",
-	doc:  "raw concurrency (go, sync.WaitGroup, channels, select) outside internal/parallel and internal/batch",
+	doc:  "raw concurrency (go, sync.WaitGroup, channels, select) outside the sanctioned packages (internal/parallel, internal/batch, internal/serve)",
 	run:  runRawgo,
 }
 
-// rawgoAllowed names the two packages sanctioned to use raw
-// concurrency primitives directly.
+// rawgoAllowed names the packages sanctioned to use raw concurrency
+// primitives directly.
 var rawgoAllowed = map[string]bool{
 	"internal/parallel": true,
 	"internal/batch":    true,
+	"internal/serve":    true,
 }
 
 func runRawgo(p *pass) {
@@ -36,7 +38,7 @@ func runRawgo(p *pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if what := concurrencyConstruct(p.info, n); what != "" {
 				p.reportf(n.Pos(),
-					"%s outside internal/parallel and internal/batch: hot-path concurrency must go through the chunk-ordered primitives", what)
+					"%s outside the sanctioned concurrency packages: hot-path concurrency must go through the chunk-ordered primitives", what)
 			}
 			return true
 		})

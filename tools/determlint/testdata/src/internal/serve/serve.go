@@ -1,0 +1,41 @@
+// Package serve mirrors the real internal/serve: the daemon control
+// plane, sanctioned (with internal/parallel and internal/batch) to use
+// raw concurrency directly — its goroutines manage job lifecycles, not
+// physics reductions. Nothing in this file is a finding.
+package serve
+
+import "sync"
+
+// dispatch runs a queue of jobs on bare goroutines coordinated by a
+// WaitGroup, condition variable and channels — the daemon's idiom, and
+// exactly what rawgo forbids everywhere outside the sanctioned
+// packages.
+func dispatch(jobs []func() error) error {
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func() error) {
+			defer wg.Done()
+			errs <- job()
+		}(job)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitIdle parks on a condition variable until a counter drains — the
+// drain protocol's shape.
+func waitIdle(mu *sync.Mutex, cond *sync.Cond, n *int) {
+	mu.Lock()
+	for *n > 0 {
+		cond.Wait()
+	}
+	mu.Unlock()
+}

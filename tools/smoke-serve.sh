@@ -1,0 +1,109 @@
+#!/bin/sh
+# smoke-serve: the CI lifecycle gate for the dlpicd campaign daemon.
+#
+# Run A (clean lifecycle + dedup): start a daemon on a fresh data
+# directory, submit one DL campaign spec three times — all three must
+# land on one job id and only the first may create it — follow the job
+# to done, record its digest, check a single journal exists, and stop
+# the daemon with SIGTERM (clean drain).
+#
+# Run B (kill -9 + restart resume): fresh directory, same spec; the
+# daemon is SIGKILLed as soon as the mid-training checkpoint appears
+# (no result file may exist yet), then a second daemon over the same
+# directory must pick the job up unprompted, resume it from the journal
+# and training artifacts, and land on run A's digest bit-exactly. The
+# persisted model bundles of both runs must be byte-identical.
+#
+# No jq dependency: responses are plain JSON extracted with sed.
+set -eu
+
+GO=${GO:-go}
+DIR=${SS_DIR:-/tmp/dlpic-smoke-serve}
+SPEC='{"scale":"tiny","v0s":[0.2],"vths":[0.01],"steps":30,"seed":7,"methods":["mlp"]}'
+
+rm -rf "$DIR"
+mkdir -p "$DIR/a" "$DIR/b"
+$GO build -o "$DIR/dlpicd" ./cmd/dlpicd
+
+field() { # field NAME <<json — extract one string/number JSON field
+	sed -n "s/.*\"$1\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p"
+}
+
+start_daemon() { # start_daemon DATADIR TAG -> $ADDR $DPID
+	"$DIR/dlpicd" -addr 127.0.0.1:0 -data "$1" -workers 2 \
+		> "$DIR/$2.out" 2> "$DIR/$2.log" &
+	DPID=$!
+	i=0
+	until ADDR=$(sed -n 's/^dlpicd listening on \([0-9.:]*\).*/\1/p' "$DIR/$2.out" | head -1) \
+		&& [ -n "$ADDR" ]; do
+		i=$((i+1)); [ "$i" -lt 1000 ] || { echo "daemon $2 never listened"; exit 1; }
+		sleep 0.01
+	done
+	i=0
+	until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+		i=$((i+1)); [ "$i" -lt 1000 ] || { echo "daemon $2 never became healthy"; exit 1; }
+		sleep 0.01
+	done
+}
+
+submit() { # submit ADDR OUTFILE -> prints http code, body in OUTFILE
+	curl -s -o "$2" -w '%{http_code}' -X POST "http://$1/campaigns" \
+		-H 'Content-Type: application/json' -d "$SPEC"
+}
+
+wait_done() { # wait_done ADDR ID TAG -> final body in $DIR/TAG.status
+	i=0
+	while :; do
+		curl -fsS "http://$1/campaigns/$2" > "$DIR/$3.status"
+		state=$(field state < "$DIR/$3.status")
+		case "$state" in
+		done) return 0 ;;
+		failed) echo "job failed: $(cat "$DIR/$3.status")"; exit 1 ;;
+		esac
+		i=$((i+1)); [ "$i" -lt 12000 ] || { echo "job $2 never finished ($3)"; exit 1; }
+		sleep 0.01
+	done
+}
+
+# ---- run A: clean lifecycle, dedup, drain --------------------------------
+start_daemon "$DIR/a" a
+code1=$(submit "$ADDR" "$DIR/a.sub1"); id1=$(field id < "$DIR/a.sub1")
+code2=$(submit "$ADDR" "$DIR/a.sub2"); id2=$(field id < "$DIR/a.sub2")
+code3=$(submit "$ADDR" "$DIR/a.sub3"); id3=$(field id < "$DIR/a.sub3")
+[ "$code1" = 202 ] || { echo "first submit: HTTP $code1, want 202"; exit 1; }
+[ "$code2" = 200 ] && [ "$code3" = 200 ] || { echo "duplicate submits: $code2/$code3, want 200"; exit 1; }
+[ "$id1" = "$id2" ] && [ "$id1" = "$id3" ] || { echo "ids diverged: $id1 $id2 $id3"; exit 1; }
+wait_done "$ADDR" "$id1" a
+digest_a=$(field digest < "$DIR/a.status")
+[ -n "$digest_a" ] || { echo "run A produced no digest"; exit 1; }
+[ "$(ls "$DIR"/a/*.jsonl | wc -l)" = 1 ] || { echo "duplicate submissions grew extra journals"; exit 1; }
+kill -TERM "$DPID"
+wait "$DPID" || { echo "daemon A exited non-zero after SIGTERM"; exit 1; }
+echo "run A: digest $digest_a, one journal, clean drain"
+
+# ---- run B: kill -9 mid-training, restart resumes ------------------------
+start_daemon "$DIR/b" b1
+code=$(submit "$ADDR" "$DIR/b.sub"); idb=$(field id < "$DIR/b.sub")
+[ "$code" = 202 ] || { echo "run B submit: HTTP $code"; exit 1; }
+[ "$idb" = "$id1" ] || { echo "run B id $idb != run A id $id1 (content addressing broke)"; exit 1; }
+i=0
+until ls "$DIR"/b/bundles/*.ckpt >/dev/null 2>&1; do
+	i=$((i+1)); [ "$i" -lt 6000 ] || { echo "training checkpoint never appeared"; exit 1; }
+	sleep 0.01
+done
+kill -9 "$DPID" 2>/dev/null || true
+wait "$DPID" 2>/dev/null || true
+[ ! -f "$DIR/b/$idb.result.json" ] || { echo "kill -9 landed after completion; no crash window"; exit 1; }
+
+start_daemon "$DIR/b" b2 # same directory: the job must resume unprompted
+wait_done "$ADDR" "$idb" b
+digest_b=$(field digest < "$DIR/b.status")
+[ "$digest_b" = "$digest_a" ] || { echo "resumed digest $digest_b != reference $digest_a"; exit 1; }
+for bundle in "$DIR"/a/bundles/*.dlpic; do
+	cmp "$bundle" "$DIR/b/bundles/$(basename "$bundle")" \
+		|| { echo "bundle $(basename "$bundle") differs across runs"; exit 1; }
+done
+kill -TERM "$DPID"
+wait "$DPID" || { echo "daemon B exited non-zero after SIGTERM"; exit 1; }
+echo "run B: killed -9 mid-training, restart resumed to digest $digest_b; bundles byte-identical"
+echo "smoke-serve: OK"
