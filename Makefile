@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-train bench bench-json smoke-campaign smoke-train smoke-serve docs ci
+.PHONY: all build test vet lint race race-train bench bench-json smoke-campaign smoke-train smoke-serve smoke-dist docs ci
 
 all: ci
 
@@ -136,6 +136,16 @@ smoke-train:
 # byte-identical persisted model bundles across the two runs.
 smoke-serve:
 	GO="$(GO)" sh ./tools/smoke-serve.sh
+
+# smoke-dist is the CI chaos gate for distributed campaign execution
+# (tools/smoke-dist.sh): a coordinator-mode dlpicd with a 1s lease TTL
+# and real dlpicworker processes — one kill -9'd mid-cell, one
+# SIGSTOPped past its lease TTL, one injecting deterministic RPC
+# faults, plus a kill -9 and restart of the coordinator daemon itself —
+# must finish the campaign to the bit-exact serial digest, with each
+# cell journaled exactly once and no cell over its retry budget.
+smoke-dist:
+	GO="$(GO)" sh ./tools/smoke-dist.sh
 
 # docs fails when an exported identifier lacks a doc comment, keeping
 # `go doc` usable as the API reference.

@@ -16,8 +16,11 @@ package dlpic_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"dlpic"
 	"dlpic/internal/batch"
@@ -636,4 +639,76 @@ func BenchmarkSweep_MultiMethodCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweep_DistLeaseDispatch times the same 2-scenario x
+// 2-method campaign fanned over the distributed lease protocol — an
+// in-process coordinator hub behind a real HTTP server, one worker
+// claiming/heartbeating/completing over the wire — against
+// BenchmarkSweep_MultiMethodCampaign's in-process numbers, isolating
+// the lease-dispatch overhead (RPC round-trips, JSON scenario
+// marshaling, journal writes via the coordinator).
+func BenchmarkSweep_DistLeaseDispatch(b *testing.B) {
+	base := dlpic.DefaultConfig()
+	base.Cells = 32
+	base.ParticlesPerCell = 125
+	spec := dlpic.CampaignSpec{
+		Scenarios: sweep.Grid(base, []float64{0.15, 0.2}, []float64{0.01}, 1, 25, 1),
+		Opts: sweep.Options{
+			SkipFit: true,
+			Methods: []dlpic.SweepMethodSpec{
+				{Name: "traditional"},
+				{Name: "oracle", Factory: func(sc sweep.Scenario) (pic.FieldMethod, error) {
+					spec := phasespace.DefaultSpec(sc.Cfg.Length)
+					spec.NX = sc.Cfg.Cells // oracle recovery needs NX == Cells
+					return core.NewOracleSolver(sc.Cfg, spec)
+				}},
+			},
+		},
+	}
+	hub := dlpic.NewDistHub(dlpic.DistOptions{ClaimRetry: time.Millisecond})
+	mux := http.NewServeMux()
+	hub.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	worker, err := dlpic.NewDistWorker(dlpic.DistWorkerOptions{
+		ID:      "bench",
+		Client:  dlpic.NewDistClient(srv.URL, nil),
+		Methods: spec.Opts.Methods,
+		Poll:    time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		worker.Run(func() bool {
+			select {
+			case <-stop:
+				return true
+			default:
+				return false
+			}
+		})
+	}()
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh journal per iteration, mirroring the in-process
+		// campaign bench.
+		results, err := hub.Run(fmt.Sprintf("bench%d", i), fmt.Sprintf("%s/j%d.jsonl", dir, i), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sweep.FirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }

@@ -11,6 +11,12 @@
 // daemon start over the same -data directory resumes them. A kill -9
 // loses at most the in-flight cells; the journal's resume contract
 // makes the eventual results bit-identical either way.
+//
+// With -coordinator the daemon additionally mounts the distributed
+// execution endpoints (/dist/claim, /dist/heartbeat, /dist/complete)
+// and jobs submitted with "distributed": true are fanned across
+// dlpicworker processes under the lease protocol of internal/dist —
+// same journal, same digest, workers merely execute.
 package main
 
 import (
@@ -33,10 +39,13 @@ func main() {
 	executors := flag.Int("executors", 1, "concurrent campaign executors")
 	workers := flag.Int("workers", 0, "sweep workers per campaign (0 = one per core)")
 	trainWorkers := flag.Int("train-workers", 0, "training shard workers (0 = engine default)")
+	coordinator := flag.Bool("coordinator", false, "enable distributed execution: mount /dist lease endpoints and run distributed:true jobs on remote dlpicworker processes")
+	leaseTTL := flag.Duration("lease-ttl", 0, "distributed cell lease lifetime (0 = dist default); a worker silent this long forfeits its cell")
 	flag.Parse()
 	if err := run(*addr, serve.Config{
 		DataDir: *data, QueueCap: *queue, Executors: *executors,
-		SweepWorkers: *workers, TrainWorkers: *trainWorkers, Log: os.Stderr,
+		SweepWorkers: *workers, TrainWorkers: *trainWorkers,
+		Coordinator: *coordinator, LeaseTTL: *leaseTTL, Log: os.Stderr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dlpicd:", err)
 		os.Exit(1)

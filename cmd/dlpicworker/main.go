@@ -1,0 +1,86 @@
+// Command dlpicworker is the distributed campaign worker: it claims
+// leased cells from a coordinator-mode dlpicd (-coordinator URL),
+// executes them with the sweep engine, heartbeats to keep its lease
+// alive, and reports results back for journaling by the coordinator.
+// Workers never write the journal, so a worker may be kill -9'd,
+// SIGSTOPped past its lease, or disconnected at any instant without
+// hurting the campaign — its cells are simply re-leased elsewhere and
+// the final digest is bit-identical to a serial run.
+//
+// Workers execute model-free methods only (-methods, default
+// traditional,oracle): method names cross the wire, trained model
+// backends do not. -fault injects a deterministic, seed-keyed fault
+// schedule on the RPC boundary (see dist.ParseFaultPlan) for chaos
+// testing. SIGINT/SIGTERM stops gracefully between cells: an in-flight
+// cell finishes and reports before the worker exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dlpic/internal/dist"
+	"dlpic/internal/experiments"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "http://127.0.0.1:8350", "coordinator base URL (a dlpicd started with -coordinator)")
+	id := flag.String("id", "", "worker id (required; lands in lease ids and coordinator logs)")
+	methods := flag.String("methods", "traditional,oracle", "comma-separated model-free method names this worker can execute")
+	poll := flag.Duration("poll", 200*time.Millisecond, "idle claim poll period")
+	fault := flag.String("fault", "", "injected RPC fault plan, e.g. seed=7,drop=0.2,err=0.1,delay=0.15:40ms (empty = none)")
+	once := flag.Bool("once", false, "exit when the coordinator reports all jobs done instead of polling for new ones")
+	flag.Parse()
+	if err := run(*coordinator, *id, *methods, *poll, *fault, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "dlpicworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(coordinator, id, methods string, poll time.Duration, fault string, once bool) error {
+	if id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	names, needMLP, needCNN, err := experiments.ResolveMethodNames(methods)
+	if err != nil {
+		return err
+	}
+	if needMLP || needCNN {
+		return fmt.Errorf("workers execute model-free methods only (got %q)", methods)
+	}
+	specs, cleanup, err := experiments.MethodsWith(nil, names, experiments.MethodConfig{})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	plan, err := dist.ParseFaultPlan(fault)
+	if err != nil {
+		return err
+	}
+	w, err := dist.NewWorker(dist.WorkerOptions{
+		ID:           id,
+		Client:       dist.NewClient(coordinator, plan),
+		Methods:      specs,
+		Poll:         poll,
+		ExitWhenDone: once,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	var stopped atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintf(os.Stderr, "[worker %s] stopping after current cell\n", id)
+		stopped.Store(true)
+	}()
+	fmt.Fprintf(os.Stderr, "[worker %s] claiming from %s (methods %v)\n", id, coordinator, names)
+	return w.Run(stopped.Load)
+}

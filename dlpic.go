@@ -73,6 +73,7 @@ import (
 	"dlpic/internal/core"
 	"dlpic/internal/dataset"
 	"dlpic/internal/diag"
+	"dlpic/internal/dist"
 	"dlpic/internal/nn"
 	"dlpic/internal/phasespace"
 	"dlpic/internal/pic"
@@ -449,7 +450,23 @@ type (
 	CampaignSpec = campaign.Spec
 	// CampaignRecord is one journal line of a campaign checkpoint.
 	CampaignRecord = campaign.Record
+	// CampaignRetryPolicy governs how failing cells are retried: the
+	// attempt budget, and deterministic seeded-jitter exponential
+	// backoff between transient-failure retries (set it as
+	// CampaignSpec.Retry).
+	CampaignRetryPolicy = campaign.RetryPolicy
 )
+
+// CampaignTransient reports whether an error looks like a failure
+// worth retrying with backoff inside one run (network resets, injected
+// RPC faults, anything implementing Transient() bool).
+func CampaignTransient(err error) bool { return campaign.Transient(err) }
+
+// CampaignPreemption reports whether an error marks a cell stopped by
+// scheduling rather than by its own physics — a campaign interrupt or
+// an expired distributed lease. Preempted executions are never
+// journaled and never charged a retry attempt.
+func CampaignPreemption(err error) bool { return campaign.Preemption(err) }
 
 // RunCampaign executes a multi-method sweep campaign, appending each
 // completed scenario x method cell to the journal at journalPath as it
@@ -464,8 +481,9 @@ func RunCampaign(journalPath string, spec CampaignSpec) ([]SweepResult, error) {
 
 // ResumeCampaign continues an interrupted campaign from its journal; it
 // errors when journalPath has no journal. Failed cells are retried up
-// to spec.MaxAttempts times across resumes, then their recorded
-// failure becomes final.
+// to spec.Retry.MaxAttempts times across resumes (transient failures
+// also back off and retry within one run, per spec.Retry), then their
+// recorded failure becomes final.
 func ResumeCampaign(journalPath string, spec CampaignSpec) ([]SweepResult, error) {
 	return campaign.Resume(journalPath, spec)
 }
@@ -513,6 +531,61 @@ type (
 // any unfinished jobs the directory records, and starts its executors.
 // Serve its HTTP API with Daemon.Handler and stop it with Daemon.Drain.
 func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return serve.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Distributed campaign execution (dlpicd -coordinator + dlpicworker)
+
+// Distributed-execution types re-exported from internal/dist: a
+// coordinator leases pending campaign cells to worker processes over
+// HTTP, heartbeats keep leases alive, expired leases return their
+// cells to the pool, and only the coordinator writes the journal — so
+// workers may be killed, stalled or disconnected at any instant and
+// the campaign digest stays bit-identical to a serial run.
+type (
+	// DistHub routes distributed-execution RPCs to the coordinators of
+	// the jobs currently running (mount with DistHub.Register, run jobs
+	// with DistHub.Run).
+	DistHub = dist.Hub
+	// DistOptions configures coordinators (lease TTL, claim retry
+	// pacing, log sink).
+	DistOptions = dist.Options
+	// DistWorker claims leased cells from a coordinator, executes them
+	// with the sweep engine, heartbeats, and reports results back.
+	DistWorker = dist.Worker
+	// DistWorkerOptions configures a DistWorker (identity, client,
+	// method registry, pacing).
+	DistWorkerOptions = dist.WorkerOptions
+	// DistClient is the worker-side HTTP client of the lease protocol,
+	// optionally wrapped in a deterministic injected-fault plan.
+	DistClient = dist.Client
+	// DistFaultPlan is a deterministic seed-keyed schedule of injected
+	// RPC faults (drops, discarded responses, delays) for chaos testing.
+	DistFaultPlan = dist.FaultPlan
+)
+
+// NewDistHub returns a hub whose coordinators run with opts. A serving
+// daemon owns one hub for its lifetime.
+func NewDistHub(opts DistOptions) *DistHub { return dist.NewHub(opts) }
+
+// NewDistClient returns a worker-side client of the coordinator at
+// base (e.g. "http://127.0.0.1:8350"); a non-nil plan injects its
+// deterministic fault schedule on every RPC.
+func NewDistClient(base string, plan *DistFaultPlan) *DistClient {
+	return dist.NewClient(base, plan)
+}
+
+// NewDistWorker builds a worker over opts; drive it with
+// DistWorker.Run.
+func NewDistWorker(opts DistWorkerOptions) (*DistWorker, error) {
+	return dist.NewWorker(opts)
+}
+
+// ParseDistFaultPlan parses the comma-separated fault-plan syntax of
+// dlpicworker's -fault flag, e.g. "seed=7,drop=0.2,err=0.1,
+// delay=0.15:40ms". An empty string is a nil (fault-free) plan.
+func ParseDistFaultPlan(s string) (*DistFaultPlan, error) {
+	return dist.ParseFaultPlan(s)
+}
 
 // NewBatchedSolver starts a batched inference backend around a trained
 // solver's network: set the result as the Batcher of a SweepMethodSpec

@@ -25,10 +25,17 @@
 // for re-run ones. Digest hashes exactly the invariant part.
 //
 // Failure handling. A failed cell is journaled too, with Err as a
-// string and an attempt counter. Resuming re-runs failed cells until
-// Spec.MaxAttempts is reached; after that the recorded failure is
-// final and the cell is restored as failed, so a permanently broken
-// scenario cannot wedge a campaign in a retry loop.
+// string and an attempt counter. Transient failures (Transient:
+// timeouts, connection resets, injected RPC faults) are retried within
+// the run under Spec.Retry's deterministic seeded-jitter exponential
+// backoff; permanent ones only across resumes. Either way a cell
+// executes at most Spec.Retry.Attempts() times, after which the
+// recorded failure is final and the cell is restored as failed, so a
+// permanently broken scenario cannot wedge a campaign in a retry loop.
+// Preempted executions (Preemption: the drain interrupt, an expired
+// distributed lease) are the deliberate exception — they journal
+// nothing and are never charged an attempt, so scheduling can never
+// burn a cell's retry budget.
 //
 // Artifacts. The journal owns *results* — one line per completed cell.
 // The expensive stages that produce results (model training) own their
@@ -50,6 +57,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"dlpic/internal/pic"
 	"dlpic/internal/sweep"
@@ -63,7 +71,8 @@ import (
 var ErrInterrupted = errors.New("campaign: interrupted before cell start")
 
 // DefaultMaxAttempts bounds how many times a failing cell is executed
-// across a campaign and its resumes when Spec.MaxAttempts is unset.
+// across a campaign and its resumes when Spec.Retry.MaxAttempts is
+// unset.
 const DefaultMaxAttempts = 3
 
 // Spec defines a campaign: a scenario grid crossed with the method
@@ -76,10 +85,13 @@ type Spec struct {
 	// set, is called with done counting restored cells too, so a
 	// resumed campaign starts partway.
 	Opts sweep.Options
-	// MaxAttempts bounds how many times a failing cell is re-run across
-	// resumes before its recorded failure becomes final (<= 0 selects
-	// DefaultMaxAttempts).
-	MaxAttempts int
+	// Retry bounds and paces failing-cell re-runs: RetryPolicy.
+	// MaxAttempts caps executions across the campaign and its resumes
+	// (zero selects DefaultMaxAttempts), and transient failures back
+	// off within a run by RetryPolicy.Delay's deterministic
+	// seeded-jitter schedule. The zero value reproduces the historic
+	// bare-counter behavior.
+	Retry RetryPolicy
 	// Interrupt, when non-nil, is polled before each pending cell
 	// starts; once it returns true the remaining cells are skipped with
 	// ErrInterrupted instead of run. This is the graceful-drain seam: a
@@ -111,6 +123,41 @@ func Key(method string, sc sweep.Scenario, opts sweep.Options) (string, error) {
 		!opts.SkipFit, opts.KeepFinalState), nil
 }
 
+// Cell is one scenario x method unit of a campaign in result order
+// (scenario-major): its input-order index, deterministic journal key,
+// scenario and resolved method spec. Cells is the shared planning step
+// of Run and the distributed coordinator (internal/dist) — both agree
+// on cell identity and ordering because both plan through it.
+type Cell struct {
+	// Index is the cell's slot in the campaign's result set.
+	Index int
+	// Key is the deterministic journal key (see Key).
+	Key string
+	// Scenario and Method are the cell's inputs, with the method
+	// registry already resolved (non-empty names).
+	Scenario sweep.Scenario
+	Method   sweep.MethodSpec
+}
+
+// Cells resolves the spec's method registry and keys the full
+// scenario x method cross product in result order.
+func Cells(spec Spec) ([]Cell, error) {
+	methods, err := sweep.ResolveMethods(spec.Opts.Methods)
+	if err != nil {
+		return nil, err
+	}
+	m := len(methods)
+	cells := make([]Cell, len(spec.Scenarios)*m)
+	for c := range cells {
+		k, err := Key(methods[c%m].Name, spec.Scenarios[c/m], spec.Opts)
+		if err != nil {
+			return nil, err
+		}
+		cells[c] = Cell{Index: c, Key: k, Scenario: spec.Scenarios[c/m], Method: methods[c%m]}
+	}
+	return cells, nil
+}
+
 // Run executes the campaign, journaling each completed cell to path as
 // it finishes and skipping cells an existing journal at path already
 // records as complete (path == "" disables journaling and runs
@@ -119,24 +166,11 @@ func Key(method string, sc sweep.Scenario, opts sweep.Options) (string, error) {
 // uninterrupted executions at any worker count. The error reports spec
 // or journal problems; per-cell failures stay in Result.Err.
 func Run(path string, spec Spec) ([]sweep.Result, error) {
-	methods, err := sweep.ResolveMethods(spec.Opts.Methods)
+	cells, err := Cells(spec)
 	if err != nil {
 		return nil, err
 	}
-	maxAttempts := spec.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = DefaultMaxAttempts
-	}
-	m := len(methods)
-	n := len(spec.Scenarios) * m
-	keys := make([]string, n)
-	for c := range keys {
-		k, err := Key(methods[c%m].Name, spec.Scenarios[c/m], spec.Opts)
-		if err != nil {
-			return nil, err
-		}
-		keys[c] = k
-	}
+	maxAttempts := spec.Retry.Attempts()
 
 	var (
 		journal   *Journal
@@ -152,14 +186,15 @@ func Run(path string, spec Spec) ([]sweep.Result, error) {
 
 	// Partition the cells: restore what the journal settles (successes,
 	// and failures out of attempts), run the rest.
+	n := len(cells)
 	results := make([]sweep.Result, n)
 	attempts := make([]int, n)
 	var pending []int
 	restored := 0
-	for c := range keys {
-		if rec, ok := completed[keys[c]]; ok {
+	for c := range cells {
+		if rec, ok := completed[cells[c].Key]; ok {
 			if rec.Err == "" || rec.Attempts >= maxAttempts {
-				results[c] = rec.result(spec.Scenarios[c/m])
+				results[c] = rec.Result(cells[c].Scenario)
 				restored++
 				continue
 			}
@@ -181,50 +216,54 @@ func Run(path string, spec Spec) ([]sweep.Result, error) {
 		appendErr error
 	)
 	ran := sweep.Collect(len(pending), spec.Opts.Workers, progress, func(i int) sweep.Result {
-		c := pending[i]
-		if spec.Interrupt != nil && spec.Interrupt() {
-			// Skipped, not failed: no journal record, no attempt charged.
-			// The cell stays pending for the next Run over this journal.
-			return sweep.Result{
-				Scenario: spec.Scenarios[c/m], Method: methods[c%m].Name,
-				Err: ErrInterrupted,
+		cell := cells[pending[i]]
+		attempt := attempts[pending[i]]
+		for {
+			if spec.Interrupt != nil && spec.Interrupt() {
+				// Skipped, not failed: no journal record, no attempt
+				// charged. The cell stays pending for the next Run over
+				// this journal.
+				return sweep.Result{
+					Scenario: cell.Scenario, Method: cell.Method.Name,
+					Err: ErrInterrupted,
+				}
 			}
-		}
-		res := sweep.RunScenario(spec.Scenarios[c/m], methods[c%m], spec.Opts)
-		if journal != nil {
-			err := journal.Append(newRecord(keys[c], attempts[c]+1, res))
-			if err != nil {
+			res := sweep.RunScenario(cell.Scenario, cell.Method, spec.Opts)
+			if res.Err != nil && Preemption(res.Err) {
+				// Preempted mid-run (e.g. a backend drained away): like
+				// the interrupt above, nothing is journaled and no
+				// attempt is charged — preemption must never burn a
+				// cell's retry budget.
+				return res
+			}
+			attempt++
+			if journal != nil {
 				// An unserializable result (non-finite floats cannot
-				// cross JSON) or an oversized record must still advance
-				// the attempt counter, or every resume would re-run the
-				// cell forever; journal a stripped failure record in
-				// its place — and return exactly what that record
-				// restores, so this run and every resume report the
-				// same (failed) cell and digests stay identical. A
-				// journaled campaign thus canonicalizes unserializable
-				// results as failures.
-				fallback := Record{
-					Version: recordVersion, Key: keys[c],
-					Method: res.Method, Scenario: res.Scenario.Name,
-					Attempts: attempts[c] + 1, ElapsedNS: int64(res.Elapsed),
-					Err: "campaign: result not journaled: " + err.Error(),
+				// cross JSON, oversized records cannot be read back) is
+				// canonicalized into a stripped failure record that
+				// still advances the attempt counter — this run and
+				// every resume then report the same (failed) cell and
+				// digests stay identical.
+				rec, stripped := NewRecord(cell.Key, attempt, res).Sanitized()
+				if err := journal.Append(rec); err != nil {
+					appendMu.Lock()
+					if appendErr == nil {
+						appendErr = err
+					}
+					appendMu.Unlock()
 				}
-				if err2 := journal.Append(fallback); err2 != nil {
-					err = err2
-				} else {
-					err = nil
-					res = fallback.result(spec.Scenarios[c/m])
+				if stripped {
+					res = rec.Result(cell.Scenario)
 				}
 			}
-			if err != nil {
-				appendMu.Lock()
-				if appendErr == nil {
-					appendErr = err
-				}
-				appendMu.Unlock()
+			if res.Err == nil || attempt >= maxAttempts || !Transient(res.Err) {
+				return res
 			}
+			// Transient failure with budget left: back off on the
+			// policy's deterministic seeded-jitter schedule and re-run
+			// within this campaign instead of waiting for a resume.
+			time.Sleep(spec.Retry.Delay(cell.Key, attempt))
 		}
-		return res
 	})
 	for i, c := range pending {
 		results[c] = ran[i]

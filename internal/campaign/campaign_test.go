@@ -162,8 +162,8 @@ func TestFailedCellRetryBounded(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	var calls atomic.Int64
 	spec := Spec{
-		Scenarios:   sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 5, 9),
-		MaxAttempts: 2,
+		Scenarios: sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 5, 9),
+		Retry:     RetryPolicy{MaxAttempts: 2},
 		Opts: sweep.Options{
 			Workers: 2,
 			SkipFit: true,
@@ -355,8 +355,8 @@ func TestUnserializableResultCanonicalizedAsFailure(t *testing.T) {
 	spec := Spec{
 		// One step only: the NaN field poisons the recorded energies
 		// without the diverged particles ever re-entering a deposit.
-		Scenarios:   sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 1, 21),
-		MaxAttempts: 1,
+		Scenarios: sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 1, 21),
+		Retry:     RetryPolicy{MaxAttempts: 1},
 		Opts: sweep.Options{
 			Workers: 1,
 			SkipFit: true,

@@ -55,8 +55,11 @@ type Record struct {
 	FinalV []float64 `json:"final_v,omitempty"`
 }
 
-// newRecord serializes one completed cell.
-func newRecord(key string, attempts int, r sweep.Result) Record {
+// NewRecord serializes one completed cell execution: the journal line
+// a campaign appends, and the payload a distributed worker reports to
+// its coordinator (which then owns the attempt counter and the
+// journal).
+func NewRecord(key string, attempts int, r sweep.Result) Record {
 	rec := Record{
 		Version:  recordVersion,
 		Key:      key,
@@ -80,11 +83,11 @@ func newRecord(key string, attempts int, r sweep.Result) Record {
 	return rec
 }
 
-// result restores the sweep.Result of a record. The scenario comes from
+// Result restores the sweep.Result of a record. The scenario comes from
 // the live campaign spec (the key guarantees it matches the one the
 // record was produced from), so configs never round-trip through the
 // journal.
-func (rec Record) result(sc sweep.Scenario) sweep.Result {
+func (rec Record) Result(sc sweep.Scenario) sweep.Result {
 	res := sweep.Result{
 		Scenario: sc,
 		Method:   rec.Method,
@@ -103,6 +106,40 @@ func (rec Record) result(sc sweep.Scenario) sweep.Result {
 		res.Err = &journaledError{msg: rec.Err}
 	}
 	return res
+}
+
+// Sanitized returns the record unchanged when it can cross the
+// journal's JSON line format, or — when it cannot (non-finite floats
+// do not marshal; oversized records would outgrow the reader's line
+// cap) — the stripped failure record that canonically replaces it,
+// plus whether stripping happened. Campaign runs and distributed
+// workers both canonicalize through this, so every process produces
+// the identical record for a given outcome and digests stay
+// resume-stable.
+func (rec Record) Sanitized() (Record, bool) {
+	err := rec.encodable()
+	if err == nil {
+		return rec, false
+	}
+	return Record{
+		Version: recordVersion, Key: rec.Key,
+		Method: rec.Method, Scenario: rec.Scenario,
+		Attempts: rec.Attempts, ElapsedNS: rec.ElapsedNS,
+		Err: "campaign: result not journaled: " + err.Error(),
+	}, true
+}
+
+// encodable reports whether the record can be written as one journal
+// line, with the same validation (and error text) Append enforces.
+func (rec Record) encodable() error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal record %q: %w", rec.Key, err)
+	}
+	if len(buf) > maxRecordBytes {
+		return fmt.Errorf("campaign: record %q is %d bytes, over the %d journal line limit", rec.Key, len(buf), maxRecordBytes)
+	}
+	return nil
 }
 
 // journaledError is a failure restored from a journal. It compares and
@@ -187,7 +224,7 @@ func OpenJournal(path string) (*Journal, map[string]Record, error) {
 		// one that happens to be complete JSON — is dropped from disk
 		// AND from the restored records, so the journal and the results
 		// it produced never disagree.
-		if err := truncateTornTail(path); err != nil {
+		if err := TruncateTornTail(path); err != nil {
 			return nil, nil, err
 		}
 		records, err = LoadJournal(path)
@@ -204,11 +241,14 @@ func OpenJournal(path string) (*Journal, map[string]Record, error) {
 	return &Journal{f: f}, records, nil
 }
 
-// truncateTornTail cuts a non-newline-terminated final fragment off the
-// journal so appends start on a fresh line. The common path (a cleanly
-// terminated journal) reads a single byte; only the post-kill case
-// loads the file to find the last complete line.
-func truncateTornTail(path string) error {
+// TruncateTornTail cuts a non-newline-terminated final fragment off an
+// append-only line file so appends start on a fresh line. The common
+// path (a cleanly terminated file) reads a single byte; only the
+// post-kill case loads the file to find the last complete line. It is
+// the shared torn-tail discipline of the campaign journal and the
+// distributed coordinator's lease log (internal/dist), both of which a
+// kill -9 may leave mid-line.
+func TruncateTornTail(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err

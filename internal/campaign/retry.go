@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"syscall"
+	"time"
+
+	"dlpic/internal/rng"
+)
+
+// DefaultRetryMultiplier is the exponential backoff base used when
+// RetryPolicy.Multiplier is unset.
+const DefaultRetryMultiplier = 2.0
+
+// maxRetryDelay caps one backoff sleep so a misconfigured policy (huge
+// multiplier, deep attempt) cannot park a worker for hours.
+const maxRetryDelay = time.Minute
+
+// RetryPolicy governs how failing cells are retried: how many times a
+// cell may execute before its failure becomes final, and how long to
+// back off between transient-failure retries. Delays carry
+// deterministic seeded jitter — a pure function of (Seed, cell key,
+// attempt) — so two runs of one campaign sleep identically and a chaos
+// test that replays a failure schedule replays its backoff schedule
+// too. The zero value selects DefaultMaxAttempts with no backoff
+// sleeps, which is the pre-policy behavior.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times a failing cell is executed
+	// across a campaign and its resumes (<= 0 selects
+	// DefaultMaxAttempts). Preempted executions (Preemption) are not
+	// attempts and never count against it.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry of a transient
+	// failure; 0 disables backoff sleeps entirely.
+	BaseDelay time.Duration
+	// Multiplier grows the delay per attempt (delay =
+	// BaseDelay * Multiplier^(attempt-1), jittered); values < 1 select
+	// DefaultRetryMultiplier.
+	Multiplier float64
+	// Seed keys the jitter stream. Two policies with equal fields
+	// produce identical delay schedules.
+	Seed uint64
+}
+
+// Attempts returns the effective attempt bound of the policy.
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// Delay returns the backoff before re-running key after its attempt-th
+// failed execution: BaseDelay * Multiplier^(attempt-1), scaled by a
+// deterministic jitter factor in [0.5, 1.5) derived from (Seed, key,
+// attempt), capped at one minute. A zero BaseDelay (or attempt < 1)
+// returns 0.
+func (p RetryPolicy) Delay(key string, attempt int) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = DefaultRetryMultiplier
+	}
+	d := float64(p.BaseDelay) * math.Pow(mult, float64(attempt-1))
+	// The jitter stream is keyed, not shared: every (key, attempt) owns
+	// an independent draw, so schedules do not depend on retry order.
+	h := sha256.Sum256([]byte(fmt.Sprintf("dlpic-retry|%d|%s|%d", p.Seed, key, attempt)))
+	r := rng.New(binary.LittleEndian.Uint64(h[:8]))
+	d *= 0.5 + r.Float64()
+	if d > float64(maxRetryDelay) {
+		d = float64(maxRetryDelay)
+	}
+	return time.Duration(d)
+}
+
+// Preemption reports whether err marks a cell that was preempted —
+// stopped by scheduling, not by its own physics or backend: the
+// campaign interrupt (ErrInterrupted), a distributed worker's expired
+// lease, or any error whose chain implements Preemption() bool.
+// Preempted cells are never journaled and never charged an attempt;
+// they simply stay pending, so drains, kills and lease reassignments
+// cannot burn a cell's retry budget.
+func Preemption(err error) bool {
+	if errors.Is(err, ErrInterrupted) {
+		return true
+	}
+	var p interface{ Preemption() bool }
+	return errors.As(err, &p) && p.Preemption()
+}
+
+// Transient reports whether err looks like a failure worth retrying
+// with backoff inside one run: network timeouts, connection resets and
+// refusals, unexpected EOFs, or any error whose chain implements
+// Transient() bool (the seam injected RPC faults and backend errors
+// classify through). Permanent failures — bad configurations, diverged
+// physics — return false and are retried only across resumes, exactly
+// as before the policy existed.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,236 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"dlpic/internal/pic"
+	"dlpic/internal/sweep"
+)
+
+// TestRetryDelayDeterministicJitter pins the backoff contract: the
+// schedule is a pure function of (Seed, key, attempt), jittered within
+// [0.5, 1.5) of the exponential envelope, capped, and zero whenever
+// backoff is disabled.
+func TestRetryDelayDeterministicJitter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, Seed: 7}
+	q := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, Seed: 7}
+	for attempt := 1; attempt <= 4; attempt++ {
+		d1, d2 := p.Delay("cell-a", attempt), q.Delay("cell-a", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: equal policies disagree: %v vs %v", attempt, d1, d2)
+		}
+		envelope := time.Duration(float64(p.BaseDelay) * pow(DefaultRetryMultiplier, attempt-1))
+		if d1 < envelope/2 || d1 >= envelope+envelope/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d1, envelope/2, envelope+envelope/2)
+		}
+	}
+	if p.Delay("cell-a", 1) == p.Delay("cell-b", 1) {
+		t.Fatal("jitter ignores the cell key")
+	}
+	other := p
+	other.Seed = 8
+	if p.Delay("cell-a", 1) == other.Delay("cell-a", 1) {
+		t.Fatal("jitter ignores the seed")
+	}
+	if d := (RetryPolicy{}).Delay("cell-a", 1); d != 0 {
+		t.Fatalf("zero BaseDelay slept %v", d)
+	}
+	if d := p.Delay("cell-a", 0); d != 0 {
+		t.Fatalf("attempt 0 slept %v", d)
+	}
+	// A pathological policy saturates at the cap instead of overflowing.
+	huge := RetryPolicy{BaseDelay: time.Hour, Multiplier: 10}
+	if d := huge.Delay("cell-a", 9); d != time.Minute {
+		t.Fatalf("uncapped delay %v", d)
+	}
+}
+
+func pow(base float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= base
+	}
+	return out
+}
+
+// transientTestErr classifies as Transient via the marker interface.
+type transientTestErr struct{ msg string }
+
+func (e transientTestErr) Error() string { return e.msg }
+func (transientTestErr) Transient() bool { return true }
+
+// preemptTestErr classifies as Preemption via the marker interface.
+type preemptTestErr struct{}
+
+func (preemptTestErr) Error() string    { return "lease expired underneath the cell" }
+func (preemptTestErr) Preemption() bool { return true }
+
+// TestClassifiers pins what counts as transient and as preemption,
+// including wrapped chains.
+func TestClassifiers(t *testing.T) {
+	if !Transient(transientTestErr{msg: "x"}) {
+		t.Fatal("marker interface not transient")
+	}
+	if !Transient(fmt.Errorf("rpc: %w", syscall.ECONNRESET)) {
+		t.Fatal("wrapped ECONNRESET not transient")
+	}
+	if !Transient(io.ErrUnexpectedEOF) {
+		t.Fatal("unexpected EOF not transient")
+	}
+	if Transient(nil) || Transient(errors.New("physics diverged")) {
+		t.Fatal("permanent failure classified transient")
+	}
+	if !Preemption(ErrInterrupted) || !Preemption(fmt.Errorf("cell: %w", ErrInterrupted)) {
+		t.Fatal("interrupt not preemption")
+	}
+	if !Preemption(fmt.Errorf("worker: %w", preemptTestErr{})) {
+		t.Fatal("wrapped lease expiry not preemption")
+	}
+	if Preemption(errors.New("plain failure")) {
+		t.Fatal("plain failure classified preemption")
+	}
+}
+
+// TestTransientFailureRetriedWithinRun: a transiently failing backend
+// is retried inside one Run under the policy's budget, every execution
+// journaled, and the cell ends successful without needing a resume.
+func TestTransientFailureRetriedWithinRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	var calls atomic.Int64
+	spec := Spec{
+		Scenarios: sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 5, 9),
+		Retry:     RetryPolicy{MaxAttempts: 3, Seed: 1},
+		Opts: sweep.Options{
+			Workers: 1,
+			SkipFit: true,
+			Methods: []sweep.MethodSpec{
+				{Name: "flaky", Factory: func(sc sweep.Scenario) (pic.FieldMethod, error) {
+					if calls.Add(1) < 3 {
+						return nil, transientTestErr{msg: "connection reset by chaos"}
+					}
+					return nil, nil // nil method = traditional
+				}},
+			},
+		},
+	}
+	results, err := Run(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("cell failed after in-run retries: %v", results[0].Err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend called %d times, want 3 (2 transient failures + success)", got)
+	}
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if rec.Attempts != 3 || rec.Err != "" {
+			t.Fatalf("final record %+v, want attempts=3 success (last-wins)", rec)
+		}
+	}
+
+	// The budget still binds: a backend that never recovers executes
+	// exactly MaxAttempts times in one run, then the failure is final.
+	calls.Store(0)
+	spec2 := spec
+	spec2.Opts.Methods = []sweep.MethodSpec{
+		{Name: "always-flaky", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+			calls.Add(1)
+			return nil, transientTestErr{msg: "still resetting"}
+		}},
+	}
+	path2 := filepath.Join(t.TempDir(), "journal2.jsonl")
+	results, err = Run(path2, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("exhausted cell reported success")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("exhausted backend called %d times, want exactly MaxAttempts=3", got)
+	}
+	// Out of attempts: a resume restores the failure without re-running.
+	if _, err := Resume(path2, spec2); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("resume re-ran an out-of-attempts cell (%d executions)", got)
+	}
+}
+
+// TestPreemptionNeverBurnsRetryBudget is the satellite bugfix test:
+// executions that end in preemption (an expired lease, a drain racing
+// the backend) journal nothing and charge no attempt, so any number of
+// preemptions later the cell still has its full budget. Before
+// RetryPolicy, a preemption-adjacent failure and a real failure were
+// indistinguishable to the bare counter.
+func TestPreemptionNeverBurnsRetryBudget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	var calls atomic.Int64
+	spec := Spec{
+		Scenarios: sweep.Grid(tinyBase(), []float64{0.2}, []float64{0.01}, 1, 5, 9),
+		Retry:     RetryPolicy{MaxAttempts: 2},
+		Opts: sweep.Options{
+			Workers: 1,
+			SkipFit: true,
+			Methods: []sweep.MethodSpec{
+				{Name: "preempted", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+					calls.Add(1)
+					return nil, preemptTestErr{}
+				}},
+			},
+		},
+	}
+	// Each Run executes the cell once, gets a preemption, journals
+	// nothing, charges nothing — across many more runs than the budget.
+	for i := 0; i < 5; i++ {
+		results, err := Run(path, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Preemption(results[0].Err) {
+			t.Fatalf("run %d: result %v, want preemption", i, results[0].Err)
+		}
+		recs, err := LoadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Fatalf("run %d journaled a preempted execution: %+v", i, recs)
+		}
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("cell executed %d times, want 5 (once per run, never budget-limited)", got)
+	}
+	// The budget is intact: once preemption stops, the cell still gets
+	// its full MaxAttempts of real executions.
+	var fails atomic.Int64
+	spec.Opts.Methods = []sweep.MethodSpec{
+		{Name: "preempted", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+			fails.Add(1)
+			return nil, transientTestErr{msg: "now failing for real"}
+		}},
+	}
+	results, err := Run(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("failing cell succeeded")
+	}
+	if got := fails.Load(); got != 2 {
+		t.Fatalf("post-preemption executions %d, want full MaxAttempts=2", got)
+	}
+}

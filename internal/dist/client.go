@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dlpic/internal/campaign"
+)
+
+// Client is a worker's RPC handle to a coordinator hub. It carries the
+// fault-injection seam: every RPC consults the FaultPlan (keyed by RPC
+// kind and a per-kind call counter) before and after the wire, so a
+// chaos run's fault schedule is a pure function of the plan's seed.
+type Client struct {
+	base   string
+	hc     *http.Client
+	faults *FaultPlan
+	counts map[string]int
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://127.0.0.1:8080"). plan may be nil for a fault-free client.
+func NewClient(base string, plan *FaultPlan) *Client {
+	return &Client{
+		base:   strings.TrimRight(base, "/"),
+		hc:     &http.Client{Timeout: 30 * time.Second},
+		faults: plan,
+		counts: make(map[string]int),
+	}
+}
+
+// Claim asks for a cell to execute.
+func (c *Client) Claim(worker string, methods []string) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := c.do("claim", "/dist/claim", ClaimRequest{Worker: worker, Methods: methods}, &resp)
+	return resp, err
+}
+
+// Heartbeat extends a lease and returns the refreshed TTL.
+func (c *Client) Heartbeat(job, lease string) (time.Duration, error) {
+	var resp HeartbeatResponse
+	err := c.do("heartbeat", "/dist/heartbeat", HeartbeatRequest{Job: job, Lease: lease}, &resp)
+	return time.Duration(resp.TTLMS) * time.Millisecond, err
+}
+
+// Complete reports a finished cell for journaling.
+func (c *Client) Complete(job, lease string, rec campaign.Record, transient bool) error {
+	return c.do("complete", "/dist/complete", CompleteRequest{
+		Job: job, Lease: lease, Record: rec, Transient: transient,
+	}, nil)
+}
+
+// do runs one RPC with fault injection. A "drop" fault suppresses the
+// request entirely; a "delay" fault sleeps before sending; an "err"
+// fault sends the request but discards its response. Both drop and err
+// surface as transient errors, so the caller's normal retry/preemption
+// classification absorbs them — err faults in particular exercise the
+// at-most-once journaling guard, because the coordinator may have
+// applied an RPC whose response the worker never saw.
+func (c *Client) do(kind, path string, req, resp any) error {
+	var f faultDecision
+	if c.faults != nil {
+		n := c.counts[kind]
+		c.counts[kind] = n + 1
+		f = c.faults.decide(kind, n)
+	}
+	if f.drop {
+		return transientError(fmt.Sprintf("dist: injected fault: dropped %s rpc", kind))
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s request: %w", kind, err)
+	}
+	hr, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		// Transport failures (refused connections during a coordinator
+		// restart, timeouts) are transient by classification already;
+		// wrap to make the RPC kind visible.
+		return transientError(fmt.Sprintf("dist: %s rpc: %v", kind, err))
+	}
+	defer hr.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(hr.Body, 64<<20))
+	switch {
+	case hr.StatusCode == http.StatusGone:
+		return ErrLeaseExpired
+	case hr.StatusCode >= 500:
+		return transientError(fmt.Sprintf("dist: %s rpc: %s: %s", kind, hr.Status, strings.TrimSpace(string(msg))))
+	case hr.StatusCode >= 400:
+		return fmt.Errorf("dist: %s rpc: %s: %s", kind, hr.Status, strings.TrimSpace(string(msg)))
+	}
+	if f.err {
+		return transientError(fmt.Sprintf("dist: injected fault: discarded %s response", kind))
+	}
+	if resp != nil {
+		if err := json.Unmarshal(msg, resp); err != nil {
+			return transientError(fmt.Sprintf("dist: decode %s response: %v", kind, err))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dlpic/internal/rng"
+)
+
+// FaultPlan is a deterministic schedule of injected faults on the RPC
+// boundary: whether the n-th RPC of a given kind is dropped, delayed,
+// or has its response discarded is a pure function of (Seed, kind, n).
+// Two workers running the same plan against the same claim sequence
+// inject the identical faults, so chaos runs are reproducible — which
+// is what lets `make smoke-dist` assert a bit-exact digest under
+// fault injection.
+type FaultPlan struct {
+	// Seed keys the fault stream.
+	Seed uint64
+	// Drop is the probability an RPC is suppressed before sending.
+	Drop float64
+	// Err is the probability a sent RPC's response is discarded — the
+	// nastiest fault, because the coordinator may have applied it.
+	Err float64
+	// DelayP is the probability an RPC is delayed by Delay first.
+	DelayP float64
+	// Delay is the injected latency for DelayP-selected RPCs.
+	Delay time.Duration
+}
+
+// faultDecision is the drawn fate of one RPC.
+type faultDecision struct {
+	drop  bool
+	err   bool
+	delay time.Duration
+}
+
+// decide draws the fate of the n-th RPC of the given kind. The three
+// draws happen in a fixed order from a stream keyed by (Seed, kind, n),
+// so adding or removing one fault probability never reshuffles the
+// others' schedule.
+func (p *FaultPlan) decide(kind string, n int) faultDecision {
+	if p == nil || (p.Drop <= 0 && p.Err <= 0 && p.DelayP <= 0) {
+		return faultDecision{}
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("dlpic-fault|%d|%s|%d", p.Seed, kind, n)))
+	r := rng.New(binary.LittleEndian.Uint64(h[:8]))
+	var f faultDecision
+	f.drop = r.Float64() < p.Drop
+	f.err = r.Float64() < p.Err
+	if r.Float64() < p.DelayP {
+		f.delay = p.Delay
+	}
+	return f
+}
+
+// ParseFaultPlan parses the flag syntax of a fault plan:
+//
+//	"seed=7,drop=0.2,err=0.1,delay=0.15:40ms"
+//
+// Fields may appear in any order and all are optional; delay takes
+// "probability:duration". An empty string is a nil (fault-free) plan.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	p := &FaultPlan{}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("dist: fault plan field %q: want key=value", field)
+		}
+		switch k {
+		case "seed":
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dist: fault plan seed %q: %w", v, err)
+			}
+			p.Seed = seed
+		case "drop", "err":
+			prob, err := strconv.ParseFloat(v, 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("dist: fault plan %s %q: want probability in [0,1]", k, v)
+			}
+			if k == "drop" {
+				p.Drop = prob
+			} else {
+				p.Err = prob
+			}
+		case "delay":
+			ps, ds, ok := strings.Cut(v, ":")
+			if !ok {
+				return nil, fmt.Errorf("dist: fault plan delay %q: want probability:duration", v)
+			}
+			prob, err := strconv.ParseFloat(ps, 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("dist: fault plan delay probability %q: want [0,1]", ps)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil {
+				return nil, fmt.Errorf("dist: fault plan delay duration %q: %w", ds, err)
+			}
+			p.DelayP, p.Delay = prob, d
+		default:
+			return nil, fmt.Errorf("dist: fault plan: unknown field %q", k)
+		}
+	}
+	return p, nil
+}

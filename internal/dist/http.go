@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dlpic/internal/campaign"
+	"dlpic/internal/sweep"
+)
+
+// Hub routes distributed-execution RPCs to the coordinators of the
+// jobs currently running. The serving daemon owns one Hub for its
+// lifetime; each distributed job registers a coordinator for the
+// duration of its campaign. Workers are job-agnostic: a claim scans
+// the live jobs (in job-id order, for determinism) and the response
+// tells the worker which job its lease belongs to.
+type Hub struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*Coordinator
+}
+
+// NewHub returns a hub whose coordinators run with opts.
+func NewHub(opts Options) *Hub {
+	return &Hub{opts: opts.withDefaults(), sessions: make(map[string]*Coordinator)}
+}
+
+// Run executes one distributed campaign: it creates the job's
+// coordinator over journalPath, serves its cells to whatever workers
+// claim from the hub, and blocks until the campaign completes (or
+// drains via spec.Interrupt). It is the distributed counterpart of
+// campaign.Run with an identical contract: same result shape, same
+// journal, same digest.
+func (h *Hub) Run(job, journalPath string, spec campaign.Spec) ([]sweep.Result, error) {
+	c, err := NewCoordinator(job, journalPath, spec, h.opts)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.sessions[job] = c
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.sessions, job)
+		h.mu.Unlock()
+	}()
+	return c.Run()
+}
+
+// coordinator returns the live coordinator of a job, or nil.
+func (h *Hub) coordinator(job string) *Coordinator {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sessions[job]
+}
+
+// jobs returns the live job ids in sorted order.
+func (h *Hub) jobs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ids := make([]string, 0, len(h.sessions))
+	for id := range h.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Wire types. Scenarios cross the wire as their full JSON form —
+// Go's float64 marshaling round-trips bit-exactly and the uint64 seed
+// decodes into a typed field without precision loss — so a worker
+// reconstructs exactly the cell the coordinator planned. Methods
+// cross as *names* only (factories are code, not data): the claim
+// carries the worker's supported method names and the coordinator
+// only grants cells the worker can actually run.
+
+// ClaimRequest asks the hub for a cell to execute.
+type ClaimRequest struct {
+	// Worker identifies the claimant; it lands in lease ids and logs.
+	Worker string `json:"worker"`
+	// Methods are the method names this worker can execute. Empty
+	// claims anything (only sensible for method-name-agnostic tests).
+	Methods []string `json:"methods,omitempty"`
+}
+
+// ClaimResponse is the hub's answer: a cell to run, or a hint to poll
+// again, or the news that all known jobs are done.
+type ClaimResponse struct {
+	// Status is "cell" (run the enclosed cell), "idle" (nothing
+	// claimable now, retry after RetryMS) or "done" (every live job's
+	// cells are settled; also returned when no job is live).
+	Status string `json:"status"`
+	// RetryMS paces the next claim after "idle"/"done".
+	RetryMS int64 `json:"retry_ms,omitempty"`
+
+	// Job and Lease identify the granted lease ("cell" only).
+	Job   string `json:"job,omitempty"`
+	Lease string `json:"lease,omitempty"`
+	// TTLMS is the lease lifetime; heartbeat well within it.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Key, Index, Scenario and Method are the cell (see campaign.Cell);
+	// SkipFit/KeepFinalState are the sweep options the key was built
+	// under.
+	Key            string         `json:"key,omitempty"`
+	Index          int            `json:"index,omitempty"`
+	Scenario       sweep.Scenario `json:"scenario"`
+	Method         string         `json:"method,omitempty"`
+	SkipFit        bool           `json:"skip_fit,omitempty"`
+	KeepFinalState bool           `json:"keep_final_state,omitempty"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	Job   string `json:"job"`
+	Lease string `json:"lease"`
+}
+
+// HeartbeatResponse acknowledges the extension.
+type HeartbeatResponse struct {
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// CompleteRequest reports a finished cell for journaling.
+type CompleteRequest struct {
+	Job   string `json:"job"`
+	Lease string `json:"lease"`
+	// Record is the worker-serialized outcome (campaign.NewRecord,
+	// sanitized before sending so it is guaranteed to marshal).
+	// Attempts is coordinator-owned and ignored on the way in.
+	Record campaign.Record `json:"record"`
+	// Transient is the worker's campaign.Transient verdict on the
+	// original error, decided before flattening it to a string.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// Register mounts the distributed-execution endpoints on mux:
+//
+//	POST /dist/claim     ClaimRequest -> ClaimResponse
+//	POST /dist/heartbeat HeartbeatRequest -> HeartbeatResponse | 410
+//	POST /dist/complete  CompleteRequest -> 204 | 410
+//
+// 410 Gone is the wire form of ErrLeaseExpired/ErrUnknownJob: the
+// lease (or its whole job) is no longer current and the worker must
+// discard the cell without retrying.
+func (h *Hub) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /dist/claim", h.handleClaim)
+	mux.HandleFunc("POST /dist/heartbeat", h.handleHeartbeat)
+	mux.HandleFunc("POST /dist/complete", h.handleComplete)
+}
+
+// handleClaim scans live jobs in id order for a claimable cell.
+func (h *Hub) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "dist: bad claim request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "dist: claim needs a worker id", http.StatusBadRequest)
+		return
+	}
+	allDone := true
+	for _, job := range h.jobs() {
+		c := h.coordinator(job)
+		if c == nil {
+			continue
+		}
+		grant, done, err := c.Claim(req.Worker, req.Methods)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if grant != nil {
+			writeJSON(w, ClaimResponse{
+				Status: "cell",
+				Job:    job, Lease: grant.Lease, TTLMS: grant.TTL.Milliseconds(),
+				Key: grant.Cell.Key, Index: grant.Cell.Index,
+				Scenario: grant.Cell.Scenario, Method: grant.Cell.Method.Name,
+				SkipFit: grant.SkipFit, KeepFinalState: grant.KeepFinalState,
+			})
+			return
+		}
+		if !done {
+			allDone = false
+		}
+	}
+	status := "idle"
+	if allDone {
+		status = "done"
+	}
+	writeJSON(w, ClaimResponse{Status: status, RetryMS: h.opts.ClaimRetry.Milliseconds()})
+}
+
+// handleHeartbeat extends one lease.
+func (h *Hub) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "dist: bad heartbeat request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c := h.coordinator(req.Job)
+	if c == nil {
+		http.Error(w, ErrUnknownJob.Error(), http.StatusGone)
+		return
+	}
+	ttl, err := c.Heartbeat(req.Lease)
+	if err != nil {
+		writeRPCError(w, err)
+		return
+	}
+	writeJSON(w, HeartbeatResponse{TTLMS: ttl.Milliseconds()})
+}
+
+// handleComplete journals one finished cell.
+func (h *Hub) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "dist: bad complete request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c := h.coordinator(req.Job)
+	if c == nil {
+		http.Error(w, ErrUnknownJob.Error(), http.StatusGone)
+		return
+	}
+	if err := c.Complete(req.Lease, req.Record, req.Transient); err != nil {
+		writeRPCError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeRPCError maps coordinator errors onto wire status codes: lease
+// preemptions are 410 Gone (discard, do not retry), everything else
+// 500 (transient from the worker's point of view).
+func writeRPCError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrLeaseExpired) || errors.Is(err, ErrUnknownJob) {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but note it in the status
+		// already sent. The client's decode error surfaces it.
+		_ = err
+	}
+}
+
+// LeaseTTL returns the hub's effective lease TTL (for display and
+// worker pacing defaults).
+func (h *Hub) LeaseTTL() time.Duration { return h.opts.LeaseTTL }

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dlpic/internal/campaign"
+)
+
+// leaseVersion is the lease log line format version.
+const leaseVersion = 1
+
+// Lease event kinds. Every transition of a lease's lifecycle appends
+// one record; replaying the log in order reconstructs the active set.
+const (
+	leaseGrant   = "grant"   // cell handed to a worker
+	leaseExtend  = "extend"  // heartbeat moved the expiry forward
+	leaseRelease = "release" // completion (or settlement) ended the lease
+	leaseExpire  = "expire"  // coordinator declared the holder dead
+)
+
+// leaseRecord is one line of the lease log: a single lease-state
+// transition. The log is append-only JSONL next to the campaign
+// journal ("<journal>.leases") and shares its torn-tail discipline —
+// a coordinator killed mid-append leaves a fragment that recovery
+// truncates away. Losing tail records is always safe: a lost grant or
+// extend merely re-leases a cell earlier (preemption, never an
+// attempt), and a lost release/expire leaves a stale lease that the
+// next completion check or expiry sweep clears.
+type leaseRecord struct {
+	// V is the line format version (leaseVersion).
+	V int `json:"v"`
+	// Event is the transition kind (grant/extend/release/expire).
+	Event string `json:"event"`
+	// Seq is the coordinator-global grant counter, persisted so a
+	// restarted coordinator never reissues a live lease id.
+	Seq uint64 `json:"seq"`
+	// Lease is the lease id ("<worker>.<seq>").
+	Lease string `json:"lease"`
+	// Key is the leased cell's campaign key (grant only).
+	Key string `json:"key,omitempty"`
+	// Worker is the holder's id (grant only).
+	Worker string `json:"worker,omitempty"`
+	// ExpiryNS is the lease deadline, UnixNano (grant and extend).
+	ExpiryNS int64 `json:"expiry_ns,omitempty"`
+}
+
+// leaseState is one active lease reconstructed from the log.
+type leaseState struct {
+	lease  string
+	key    string
+	worker string
+	expiry time.Time
+}
+
+// leaseLog is the append-side handle of the lease file. Appends are
+// serialized by the coordinator's mutex, not here.
+type leaseLog struct {
+	f *os.File
+}
+
+// leasePath returns the lease log path adjacent to a campaign journal.
+func leasePath(journalPath string) string { return journalPath + ".leases" }
+
+// openLeaseLog opens (creating if absent) the lease log at path,
+// truncates any torn tail, and replays the surviving records into the
+// set of leases still active at now plus the next safe grant sequence
+// number. Leases already expired at load time are dropped — their
+// cells go straight back to the pending pool.
+func openLeaseLog(path string, now time.Time) (*leaseLog, map[string]leaseState, uint64, error) {
+	active := make(map[string]leaseState)
+	var nextSeq uint64
+	if _, err := os.Stat(path); err == nil {
+		if err := campaign.TruncateTornTail(path); err != nil {
+			return nil, nil, 0, fmt.Errorf("dist: lease log %s: %w", path, err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := sc.Bytes()
+			if len(text) == 0 {
+				continue
+			}
+			var rec leaseRecord
+			// Post-truncation every line is complete, so any parse
+			// failure is real corruption, not a torn tail.
+			if err := json.Unmarshal(text, &rec); err != nil {
+				f.Close()
+				return nil, nil, 0, fmt.Errorf("dist: lease log %s line %d: %w", path, line, err)
+			}
+			if rec.V != leaseVersion {
+				f.Close()
+				return nil, nil, 0, fmt.Errorf("dist: lease log %s line %d: unsupported version %d", path, line, rec.V)
+			}
+			if rec.Seq >= nextSeq {
+				nextSeq = rec.Seq + 1
+			}
+			switch rec.Event {
+			case leaseGrant:
+				active[rec.Lease] = leaseState{
+					lease: rec.Lease, key: rec.Key, worker: rec.Worker,
+					expiry: time.Unix(0, rec.ExpiryNS),
+				}
+			case leaseExtend:
+				if st, ok := active[rec.Lease]; ok {
+					st.expiry = time.Unix(0, rec.ExpiryNS)
+					active[rec.Lease] = st
+				}
+			case leaseRelease, leaseExpire:
+				delete(active, rec.Lease)
+			default:
+				f.Close()
+				return nil, nil, 0, fmt.Errorf("dist: lease log %s line %d: unknown event %q", path, line, rec.Event)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("dist: lease log %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, 0, err
+		}
+		for id, st := range active {
+			if !st.expiry.After(now) {
+				delete(active, id)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return &leaseLog{f: f}, active, nextSeq, nil
+}
+
+// append writes one transition as a single JSON line. An append
+// failure is returned but deliberately non-fatal to the campaign: the
+// lease log is a recovery aid, and in-memory lease state remains
+// authoritative for a coordinator that stays alive.
+func (l *leaseLog) append(rec leaseRecord) error {
+	rec.V = leaseVersion
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dist: marshal lease record %q: %w", rec.Lease, err)
+	}
+	buf = append(buf, '\n')
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("dist: append lease record %q: %w", rec.Lease, err)
+	}
+	return nil
+}
+
+// Close closes the lease log file.
+func (l *leaseLog) Close() error { return l.f.Close() }

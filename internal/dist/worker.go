@@ -1,0 +1,233 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dlpic/internal/campaign"
+	"dlpic/internal/sweep"
+)
+
+// WorkerOptions configures one worker process (or in-process worker
+// loop in tests).
+type WorkerOptions struct {
+	// ID identifies the worker in leases and logs.
+	ID string
+	// Client is the RPC handle to the coordinator hub (NewClient).
+	Client *Client
+	// Methods is the worker's method registry: the backends it can
+	// execute, matched to cells by name. Empty selects the traditional
+	// method only.
+	Methods []sweep.MethodSpec
+	// Poll paces claim retries when the coordinator reports idle and
+	// gives no hint (<= 0 selects DefaultClaimRetry).
+	Poll time.Duration
+	// Retry paces RPC retries (claims through a restarting
+	// coordinator, completes through injected faults) with the same
+	// deterministic seeded-jitter schedule campaigns use for cells.
+	Retry campaign.RetryPolicy
+	// ExitWhenDone stops Run when the coordinator reports every job
+	// done, instead of polling for future jobs. Tests and one-shot
+	// workers set it; service workers poll forever.
+	ExitWhenDone bool
+	// Log receives worker progress lines (nil = discard).
+	Log io.Writer
+}
+
+// Worker claims cells from a coordinator hub, executes them with
+// sweep.RunScenario, heartbeats to keep its lease alive, and reports
+// results back for journaling. It never touches the journal itself —
+// a worker killed at any instant loses only its lease, never the
+// campaign's consistency.
+type Worker struct {
+	opts    WorkerOptions
+	methods map[string]sweep.MethodSpec
+}
+
+// NewWorker builds a worker. The methods registry is resolved like a
+// sweep's (empty = traditional).
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	methods, err := sweep.ResolveMethods(opts.Methods)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ID == "" {
+		return nil, fmt.Errorf("dist: worker needs an ID")
+	}
+	if opts.Client == nil {
+		return nil, fmt.Errorf("dist: worker needs a Client")
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = DefaultClaimRetry
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	w := &Worker{opts: opts, methods: make(map[string]sweep.MethodSpec, len(methods))}
+	for _, m := range methods {
+		w.methods[m.Name] = m
+	}
+	return w, nil
+}
+
+// methodNames returns the registry's names in deterministic order for
+// the claim request.
+func (w *Worker) methodNames() []string {
+	names := make([]string, 0, len(w.methods))
+	for _, m := range w.opts.Methods {
+		names = append(names, m.Name)
+	}
+	if len(names) == 0 {
+		names = []string{"traditional"}
+	}
+	return names
+}
+
+// Run is the worker loop: claim, execute with heartbeats, complete,
+// repeat. It returns when stop reports true (checked between cells —
+// a graceful stop never abandons a cell mid-execution) or, with
+// ExitWhenDone, when the hub reports all jobs
+// done. Every error a worker can encounter is absorbed into the lease
+// protocol: transient RPC failures retry with deterministic backoff,
+// and a lost lease (ErrLeaseExpired) means the cell belongs to someone
+// else now — the result is discarded without a word to the journal.
+func (w *Worker) Run(stop func() bool) error {
+	names := w.methodNames()
+	claimFails := 0
+	for !stop() {
+		resp, err := w.opts.Client.Claim(w.opts.ID, names)
+		if err != nil {
+			// A dead or restarting coordinator looks like transient
+			// claim failures; back off deterministically and keep
+			// trying until stopped.
+			claimFails++
+			w.sleepRetry("rpc|claim", claimFails)
+			continue
+		}
+		claimFails = 0
+		switch resp.Status {
+		case "cell":
+			w.runCell(resp, stop)
+		case "done":
+			if w.opts.ExitWhenDone {
+				return nil
+			}
+			w.idle(resp)
+		default: // "idle"
+			w.idle(resp)
+		}
+	}
+	return nil
+}
+
+// idle sleeps the coordinator's retry hint (or the worker's own poll
+// period) before the next claim.
+func (w *Worker) idle(resp ClaimResponse) {
+	d := time.Duration(resp.RetryMS) * time.Millisecond
+	if d <= 0 {
+		d = w.opts.Poll
+	}
+	time.Sleep(d)
+}
+
+// sleepRetry backs off an RPC retry on the policy's deterministic
+// schedule, floored at the poll period so a zero policy still paces.
+func (w *Worker) sleepRetry(key string, attempt int) {
+	d := w.opts.Retry.Delay(key, attempt)
+	if d <= 0 {
+		d = w.opts.Poll
+	}
+	time.Sleep(d)
+}
+
+// runCell executes one granted cell under heartbeats and reports the
+// outcome. The execution runs in its own goroutine while the worker
+// heartbeats at a third of the lease TTL; a heartbeat answered with
+// ErrLeaseExpired marks the lease lost, and the result — however far
+// the physics got — is discarded once the run drains. Preemption by
+// lease loss charges no attempt anywhere, by construction: only a
+// Complete accepted by the coordinator journals anything.
+func (w *Worker) runCell(resp ClaimResponse, stop func() bool) {
+	method, ok := w.methods[resp.Method]
+	if !ok {
+		// The coordinator filtered on our claimed names, so this is a
+		// protocol bug, not a physics failure; report it as a
+		// permanent cell failure rather than wedging the cell.
+		w.complete(resp, sweep.Result{
+			Scenario: resp.Scenario, Method: resp.Method,
+			Err: fmt.Errorf("dist: worker %s cannot run method %q", w.opts.ID, resp.Method),
+		}, stop)
+		return
+	}
+	fmt.Fprintf(w.opts.Log, "[worker %s] cell %d (%s, %s): start (lease %s)\n",
+		w.opts.ID, resp.Index, resp.Scenario.Name, resp.Method, resp.Lease)
+	opts := sweep.Options{SkipFit: resp.SkipFit, KeepFinalState: resp.KeepFinalState}
+	resCh := make(chan sweep.Result, 1)
+	go func() { resCh <- sweep.RunScenario(resp.Scenario, method, opts) }()
+
+	ttl := time.Duration(resp.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	hb := time.NewTicker(ttl / 3)
+	defer hb.Stop()
+	leaseLost := false
+	var res sweep.Result
+running:
+	for {
+		select {
+		case res = <-resCh:
+			break running
+		case <-hb.C:
+			if _, err := w.opts.Client.Heartbeat(resp.Job, resp.Lease); err != nil {
+				if campaign.Preemption(err) {
+					// Reassigned out from under us. Keep draining the
+					// run (the goroutine owns real resources) but the
+					// result is already condemned.
+					leaseLost = true
+					fmt.Fprintf(w.opts.Log, "[worker %s] cell %d: lease %s lost, draining\n",
+						w.opts.ID, resp.Index, resp.Lease)
+					res = <-resCh
+					break running
+				}
+				// Transient heartbeat hiccup: the next tick retries.
+			}
+		}
+	}
+	if leaseLost {
+		return
+	}
+	w.complete(resp, res, stop)
+}
+
+// complete reports one executed cell, retrying transient RPC failures
+// with deterministic backoff until the coordinator accepts the record,
+// rejects the lease (someone else owns the cell now — discard), or the
+// worker is stopped. The record is sanitized before the wire for the
+// same reason campaigns sanitize before the journal: the wire is JSON
+// too, and the coordinator must journal exactly the record a serial
+// run would have.
+func (w *Worker) complete(resp ClaimResponse, res sweep.Result, stop func() bool) {
+	transient := campaign.Transient(res.Err)
+	rec, _ := campaign.NewRecord(resp.Key, 0, res).Sanitized()
+	for attempt := 1; ; attempt++ {
+		err := w.opts.Client.Complete(resp.Job, resp.Lease, rec, transient)
+		if err == nil {
+			fmt.Fprintf(w.opts.Log, "[worker %s] cell %d: completed (err %q)\n",
+				w.opts.ID, resp.Index, rec.Err)
+			return
+		}
+		if campaign.Preemption(err) {
+			fmt.Fprintf(w.opts.Log, "[worker %s] cell %d: completion rejected, lease %s gone\n",
+				w.opts.ID, resp.Index, resp.Lease)
+			return
+		}
+		if !campaign.Transient(err) || stop() {
+			fmt.Fprintf(w.opts.Log, "[worker %s] cell %d: completion abandoned: %v\n",
+				w.opts.ID, resp.Index, err)
+			return
+		}
+		w.sleepRetry("rpc|complete|"+resp.Lease, attempt)
+	}
+}

@@ -5,11 +5,20 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // maxSpecBytes bounds one submitted spec body. Specs are a few hundred
 // bytes of axes and names; a megabyte is generous.
 const maxSpecBytes = 1 << 20
+
+// Retry-After hints (seconds) on admission refusals: a full queue
+// drains at campaign speed, a draining daemon is usually about to
+// restart.
+const (
+	retryAfterQueueFull = "2"
+	retryAfterDraining  = "15"
+)
 
 // Handler returns the daemon's HTTP API:
 //
@@ -17,14 +26,26 @@ const maxSpecBytes = 1 << 20
 //	POST /campaigns               submit a CampaignSpec (JSON body);
 //	                              202 new job, 200 deduped onto an
 //	                              existing one, 400 invalid, 429 queue
-//	                              full, 503 draining
+//	                              full, 503 draining (the refusals
+//	                              carry Retry-After hints)
 //	GET  /campaigns               every job, sorted by id
 //	GET  /campaigns/{id}          one job snapshot, 404 unknown
 //	GET  /campaigns/{id}/stream   server-sent events: one JobStatus per
 //	                              observable change, closing after the
-//	                              terminal snapshot
+//	                              terminal snapshot; each event carries
+//	                              its version as the SSE id, and a
+//	                              reconnect with Last-Event-ID resumes
+//	                              after that version instead of
+//	                              replaying
+//
+// A coordinator-mode daemon additionally mounts the distributed
+// execution endpoints (POST /dist/claim, /dist/heartbeat,
+// /dist/complete — see dist.Hub.Register).
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
+	if d.hub != nil {
+		d.hub.Register(mux)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -56,8 +77,14 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, created, err := d.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// A full queue drains at campaign speed; a couple of seconds
+		// is a sane resubmit pace for a well-behaved client.
+		w.Header().Set("Retry-After", retryAfterQueueFull)
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining):
+		// Draining usually precedes a restart; hint clients to come
+		// back after a plausible restart window.
+		w.Header().Set("Retry-After", retryAfterDraining)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -85,6 +112,9 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Flush the headers before blocking in WaitChange: a resumed client
+	// waiting for the next change must see the stream open immediately.
+	fl.Flush()
 
 	ctx := r.Context()
 	// A dying connection must unblock the WaitChange loop: translate
@@ -95,8 +125,15 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	}()
 	stop := func() bool { return ctx.Err() != nil }
 
-	// Send the current snapshot first, then one event per change.
+	// Send the current snapshot first, then one event per change. Each
+	// event's SSE id is the job version it snapshots; a reconnecting
+	// client (EventSource sends Last-Event-ID automatically) resumes
+	// waiting *after* that version instead of replaying the history it
+	// already saw.
 	seen := -1
+	if v, err := strconv.Atoi(r.Header.Get("Last-Event-ID")); err == nil && v >= 0 {
+		seen = v
+	}
 	for {
 		st, version, ok := d.WaitChange(id, seen, stop)
 		if !ok || stop() {
@@ -106,7 +143,7 @@ func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", version, buf); err != nil {
 			return
 		}
 		fl.Flush()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dlpic/internal/campaign"
 	"dlpic/internal/experiments"
@@ -59,6 +60,14 @@ func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
 
 	scenarios := sweep.Grid(base, spec.V0s, spec.Vths, spec.Repeats, spec.Steps, spec.Seed)
 	total := len(scenarios) * len(specs)
+	// The retry policy is seeded from the spec so backoff schedules are
+	// part of the job's deterministic behavior; distributed jobs get a
+	// real base delay because their transient failures (injected RPC
+	// faults, worker churn) are expected rather than exceptional.
+	retry := campaign.RetryPolicy{Seed: spec.Seed}
+	if spec.Distributed {
+		retry.BaseDelay = 100 * time.Millisecond
+	}
 	return campaign.Spec{
 		Scenarios: scenarios,
 		Opts: sweep.Options{
@@ -68,6 +77,7 @@ func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
 				d.setProgress(j, done, n)
 			},
 		},
+		Retry:     retry,
 		Interrupt: d.drainingNow,
 	}, total, nil
 }

@@ -40,9 +40,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dlpic/internal/batch"
 	"dlpic/internal/campaign"
+	"dlpic/internal/dist"
+	"dlpic/internal/sweep"
 )
 
 // Job states reported by JobStatus.State. Queued and running are
@@ -75,6 +78,14 @@ type Config struct {
 	// TrainWorkers is the training parallelism handed to the
 	// experiments pipeline (0 = its default).
 	TrainWorkers int
+	// Coordinator enables distributed execution: the daemon hosts a
+	// dist.Hub, mounts its lease endpoints, and jobs whose spec sets
+	// Distributed run on remote workers instead of the local sweep
+	// pool. Off by default — a plain daemon refuses distributed specs.
+	Coordinator bool
+	// LeaseTTL is the distributed lease lifetime (<= 0 selects
+	// dist.DefaultLeaseTTL). Only meaningful with Coordinator.
+	LeaseTTL time.Duration
 	// Log receives the daemon's progress lines (nil = discard).
 	Log io.Writer
 }
@@ -114,6 +125,8 @@ type JobStatus struct {
 type Daemon struct {
 	cfg  Config
 	pool *batch.Pool
+	// hub coordinates distributed jobs; nil unless Config.Coordinator.
+	hub *dist.Hub
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -149,6 +162,9 @@ func newDaemon(cfg Config, startExecutors bool) (*Daemon, error) {
 		return nil, fmt.Errorf("serve: data dir: %w", err)
 	}
 	d := &Daemon{cfg: cfg, pool: batch.NewPool(), jobs: map[string]*job{}}
+	if cfg.Coordinator {
+		d.hub = dist.NewHub(dist.Options{LeaseTTL: cfg.LeaseTTL, Log: cfg.Log})
+	}
 	d.cond = sync.NewCond(&d.mu)
 	if err := d.replay(); err != nil {
 		return nil, err
@@ -214,6 +230,9 @@ func (d *Daemon) replay() error {
 func (d *Daemon) Submit(spec CampaignSpec) (JobStatus, bool, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, false, err
+	}
+	if spec.Distributed && d.hub == nil {
+		return JobStatus{}, false, errors.New("serve: distributed spec needs a coordinator daemon (start with -coordinator)")
 	}
 	n := spec.normalized()
 	id := n.ID()
@@ -437,7 +456,15 @@ func (d *Daemon) runJob(j *job) {
 	j.version++
 	d.cond.Broadcast()
 	d.mu.Unlock()
-	results, err := campaign.Run(d.JournalPath(j.id), cspec)
+	var results []sweep.Result
+	if j.spec.Distributed {
+		// Distributed jobs run on the hub's remote workers: the
+		// coordinator leases cells out and stays the journal's only
+		// writer, so the journal/resume/digest contract is untouched.
+		results, err = d.hub.Run(j.id, d.JournalPath(j.id), cspec)
+	} else {
+		results, err = campaign.Run(d.JournalPath(j.id), cspec)
+	}
 	if err != nil {
 		d.persistFailure(j, total, err)
 		return

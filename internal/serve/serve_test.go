@@ -8,9 +8,11 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dlpic/internal/campaign"
 	"dlpic/internal/experiments"
@@ -557,5 +559,158 @@ func TestJobsListing(t *testing.T) {
 		if !listed[id] {
 			t.Fatalf("job %s missing from listing", id)
 		}
+	}
+}
+
+// postSpec submits a spec and returns the raw response so tests can
+// inspect headers.
+func postSpec(t *testing.T, url string, spec CampaignSpec) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/campaigns", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAdmissionRetryAfterHints: admission refusals carry Retry-After
+// so well-behaved clients back off instead of hammering — a short hint
+// on a full queue (drains at campaign speed), a longer one on a drain
+// (usually precedes a restart).
+func TestAdmissionRetryAfterHints(t *testing.T) {
+	d, err := newDaemon(Config{DataDir: t.TempDir(), QueueCap: 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	resp := postSpec(t, srv.URL, testSpec())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Fatalf("accepted submit carries Retry-After %q", got)
+	}
+	over := testSpec()
+	over.Seed = 99
+	resp = postSpec(t, srv.URL, over)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submit: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterQueueFull {
+		t.Fatalf("queue-full Retry-After %q, want %q", got, retryAfterQueueFull)
+	}
+
+	d.Drain()
+	fresh := testSpec()
+	fresh.Seed = 100
+	resp = postSpec(t, srv.URL, fresh)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterDraining {
+		t.Fatalf("draining Retry-After %q, want %q", got, retryAfterDraining)
+	}
+}
+
+// TestStreamLastEventID: every SSE event carries its job version as the
+// SSE id, and a reconnect with Last-Event-ID set to the last-seen id
+// waits for the next change instead of replaying the snapshot the
+// client already has. Driven against a daemon whose executors never
+// start, so the job sits at one version deterministically.
+func TestStreamLastEventID(t *testing.T) {
+	d, err := newDaemon(Config{DataDir: t.TempDir()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	st, code := submit(t, srv.URL, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+
+	// streamEvents reads SSE (id, data) pairs until the deadline or EOF.
+	type event struct {
+		id   int
+		data string
+	}
+	streamEvents := func(lastEventID string, timeout time.Duration) []event {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+"/campaigns/"+st.ID+"/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var events []event
+		cur := event{id: -1}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				id, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+				if err != nil {
+					t.Fatalf("bad SSE id line %q: %v", line, err)
+				}
+				cur.id = id
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if cur.data != "" {
+					events = append(events, cur)
+					cur = event{id: -1}
+				}
+			}
+		}
+		return events // scanner error = client timeout, by design
+	}
+
+	// A fresh stream delivers the current snapshot immediately, with its
+	// version as the SSE id.
+	first := streamEvents("", 2*time.Second)
+	if len(first) == 0 {
+		t.Fatal("fresh stream delivered no snapshot")
+	}
+	if first[0].id < 0 {
+		t.Fatal("event has no id line")
+	}
+	var ev JobStatus
+	if err := json.Unmarshal([]byte(first[0].data), &ev); err != nil {
+		t.Fatalf("bad event payload %q: %v", first[0].data, err)
+	}
+	if ev.State != StateQueued {
+		t.Fatalf("snapshot state %q, want queued", ev.State)
+	}
+
+	// Reconnecting with that id: the server holds the stream open
+	// waiting for a change instead of replaying the same snapshot.
+	if resumed := streamEvents(strconv.Itoa(first[0].id), 500*time.Millisecond); len(resumed) != 0 {
+		t.Fatalf("resume at id %d replayed %d events: %+v", first[0].id, len(resumed), resumed)
+	}
+	// Reconnecting below that id replays the snapshot at once.
+	behind := streamEvents(strconv.Itoa(first[0].id-1), 2*time.Second)
+	if len(behind) == 0 || behind[0].id != first[0].id {
+		t.Fatalf("resume below current version got %+v, want snapshot id %d", behind, first[0].id)
+	}
+	// A malformed header is ignored, not an error: full snapshot again.
+	if mal := streamEvents("not-a-number", 2*time.Second); len(mal) == 0 {
+		t.Fatal("malformed Last-Event-ID suppressed the snapshot")
 	}
 }

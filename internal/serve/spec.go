@@ -58,6 +58,14 @@ type CampaignSpec struct {
 	// zero: they change nothing there).
 	Batched  bool `json:"batched,omitempty"`
 	MaxBatch int  `json:"max_batch,omitempty"`
+	// Distributed fans the campaign's cells across remote dlpicworker
+	// processes via the daemon's coordinator hub instead of the local
+	// sweep pool. Identity-bearing (like Batched) even though the
+	// digest is provably execution-invariant — where a campaign runs is
+	// part of what was asked for. Requires a coordinator-mode daemon,
+	// and only model-free methods (method *names* cross the wire;
+	// trained backends live in the daemon's process).
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // normalized returns the canonical form of the spec: defaults filled
@@ -114,8 +122,12 @@ func (s CampaignSpec) Validate() error {
 	if len(n.V0s) == 0 || len(n.Vths) == 0 {
 		return fmt.Errorf("serve: empty scan axes (v0s x vths is the scenario grid)")
 	}
-	if _, _, _, err := experiments.ResolveMethodNames(strings.Join(n.Methods, ",")); err != nil {
+	_, needMLP, needCNN, err := experiments.ResolveMethodNames(strings.Join(n.Methods, ","))
+	if err != nil {
 		return err
+	}
+	if n.Distributed && (needMLP || needCNN) {
+		return fmt.Errorf("serve: distributed campaigns support model-free methods only (mlp/cnn backends cannot cross the worker wire)")
 	}
 	return nil
 }

@@ -136,11 +136,11 @@ func TestRepoLintCleanAndRacePackages(t *testing.T) {
 	for _, p := range pkgs {
 		got[p] = true
 	}
-	// The two sanctioned concurrency homes are roots; core and
+	// The sanctioned concurrency homes are roots; core and
 	// experiments import them transitively.
 	for _, p := range []string{
 		"./internal/parallel/", "./internal/batch/", "./internal/serve/",
-		"./internal/core/", "./internal/experiments/",
+		"./internal/dist/", "./internal/core/", "./internal/experiments/",
 	} {
 		if !got[p] {
 			t.Errorf("race package list is missing %s (got %v)", p, pkgs)

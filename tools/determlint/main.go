@@ -17,8 +17,9 @@
 //	            feeding ordered output.
 //	rawgo     — bare go statements, sync.WaitGroup, channels or select
 //	            outside the sanctioned concurrency packages (internal/
-//	            parallel, internal/batch, internal/serve): hot-path
-//	            concurrency must use the chunk-ordered primitives.
+//	            parallel, internal/batch, internal/serve, internal/
+//	            dist): hot-path concurrency must use the chunk-ordered
+//	            primitives.
 //	floatfold — floating-point +=/-=/*=//= accumulation inside a loop
 //	            that receives from a channel: reduction order would
 //	            depend on delivery order (use parallel.OrderedFold).

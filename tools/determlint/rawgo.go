@@ -14,11 +14,13 @@ import (
 // GOMAXPROCS/worker count; batch's inference server is the one
 // sanctioned channel protocol; serve is the daemon control plane,
 // whose goroutines manage job lifecycles and never touch a physics
-// reduction. A bare goroutine anywhere else is a reduction whose order
-// nobody pinned.
+// reduction; dist is the lease coordinator/worker protocol, whose
+// concurrency schedules cells across processes but never reorders a
+// result (the journal and input-order assembly pin that). A bare
+// goroutine anywhere else is a reduction whose order nobody pinned.
 var rawgoAnalyzer = &analyzer{
 	name: "rawgo",
-	doc:  "raw concurrency (go, sync.WaitGroup, channels, select) outside the sanctioned packages (internal/parallel, internal/batch, internal/serve)",
+	doc:  "raw concurrency (go, sync.WaitGroup, channels, select) outside the sanctioned packages (internal/parallel, internal/batch, internal/serve, internal/dist)",
 	run:  runRawgo,
 }
 
@@ -28,6 +30,7 @@ var rawgoAllowed = map[string]bool{
 	"internal/parallel": true,
 	"internal/batch":    true,
 	"internal/serve":    true,
+	"internal/dist":     true,
 }
 
 func runRawgo(p *pass) {

@@ -1,0 +1,174 @@
+#!/bin/sh
+# smoke-dist: the CI chaos gate for distributed campaign execution.
+#
+# Phase 0 (reference): run the campaign on a plain daemon — local sweep
+# pool, no coordinator — and record its digest.
+#
+# Chaos run: a coordinator-mode daemon with a 1-second lease TTL and
+# real dlpicworker processes, abused in every way the lease protocol
+# claims to survive:
+#
+#   phase 1  worker w1 is kill -9'd mid-cell; its orphaned lease must
+#            expire and return the cell to the pool
+#   phase 2  worker w2 is SIGSTOPped past its lease TTL (heartbeats
+#            stop, the lease expires, the cell is re-leased), then
+#            SIGCONTed — its stale completion must be discarded
+#   phase 3  the coordinator daemon itself is kill -9'd mid-campaign
+#            and restarted over the same data directory and address;
+#            the job must resume unprompted from the journal + lease log
+#   phase 4  a worker with an injected deterministic RPC fault plan
+#            (dropped and discarded responses) joins; the campaign must
+#            still finish
+#
+# Acceptance: the distributed digest equals the serial digest
+# bit-exactly, the journal holds each cell exactly once, and no cell
+# consumed more than its retry budget (attempts <= 3).
+#
+# No jq dependency: responses are plain JSON extracted with sed.
+set -eu
+
+GO=${GO:-go}
+DIR=${SD_DIR:-/tmp/dlpic-smoke-dist}
+# Cell sizing: steps/ppc chosen so one cell runs a few hundred ms —
+# long enough that grant-gated kills land mid-cell, short enough that
+# 12 cells keep the gate fast. 6 v0s x 1 vth x 2 methods = 12 cells.
+AXES='"v0s":[0.14,0.16,0.18,0.2,0.22,0.24],"vths":[0.01],"steps":800,"ppc":800,"seed":7,"methods":["traditional","oracle"]'
+SERIAL_SPEC="{$AXES}"
+DIST_SPEC="{$AXES,\"distributed\":true}"
+BUDGET=3 # campaign.DefaultMaxAttempts
+
+rm -rf "$DIR"
+mkdir -p "$DIR/a" "$DIR/b"
+$GO build -o "$DIR/dlpicd" ./cmd/dlpicd
+$GO build -o "$DIR/dlpicworker" ./cmd/dlpicworker
+
+field() { # field NAME <<json — extract one string/number JSON field
+	sed -n "s/.*\"$1\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p"
+}
+
+start_daemon() { # start_daemon DATADIR TAG ADDRSPEC [FLAGS...] -> $ADDR $DPID
+	sd_data=$1 sd_tag=$2 sd_addr=$3
+	shift 3
+	"$DIR/dlpicd" -addr "$sd_addr" -data "$sd_data" -workers 2 "$@" \
+		> "$DIR/$sd_tag.out" 2> "$DIR/$sd_tag.log" &
+	DPID=$!
+	i=0
+	until ADDR=$(sed -n 's/^dlpicd listening on \([0-9.:]*\).*/\1/p' "$DIR/$sd_tag.out" | head -1) \
+		&& [ -n "$ADDR" ]; do
+		i=$((i+1)); [ "$i" -lt 1000 ] || { echo "daemon $sd_tag never listened"; exit 1; }
+		sleep 0.01
+	done
+	i=0
+	until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+		i=$((i+1)); [ "$i" -lt 1000 ] || { echo "daemon $sd_tag never became healthy"; exit 1; }
+		sleep 0.01
+	done
+}
+
+start_worker() { # start_worker ID [FLAGS...] -> $WPID, log in $DIR/ID.log
+	sw_id=$1
+	shift
+	"$DIR/dlpicworker" -coordinator "http://$ADDR" -id "$sw_id" -poll 50ms "$@" \
+		> /dev/null 2> "$DIR/$sw_id.log" &
+	WPID=$!
+}
+
+submit() { # submit SPEC OUTFILE -> prints http code, body in OUTFILE
+	curl -s -o "$2" -w '%{http_code}' -X POST "http://$ADDR/campaigns" \
+		-H 'Content-Type: application/json' -d "$1"
+}
+
+wait_log() { # wait_log PATTERN FILE WHAT — poll FILE until PATTERN appears
+	i=0
+	until grep -q -e "$1" "$2" 2>/dev/null; do
+		i=$((i+1)); [ "$i" -lt 3000 ] || { echo "timed out waiting for $3"; exit 1; }
+		sleep 0.01
+	done
+}
+
+wait_done() { # wait_done ID TAG -> final body in $DIR/TAG.status
+	i=0
+	while :; do
+		curl -fsS "http://$ADDR/campaigns/$1" > "$DIR/$2.status" 2>/dev/null || true
+		state=$(field state < "$DIR/$2.status")
+		case "$state" in
+		done) return 0 ;;
+		failed) echo "job failed: $(cat "$DIR/$2.status")"; exit 1 ;;
+		esac
+		i=$((i+1)); [ "$i" -lt 12000 ] || { echo "job $1 never finished ($2)"; exit 1; }
+		sleep 0.01
+	done
+}
+
+# ---- phase 0: serial reference digest ------------------------------------
+start_daemon "$DIR/a" a 127.0.0.1:0
+code=$(submit "$SERIAL_SPEC" "$DIR/a.sub")
+[ "$code" = 202 ] || { echo "serial submit: HTTP $code, want 202"; exit 1; }
+id_serial=$(field id < "$DIR/a.sub")
+# A distributed spec must be refused without a coordinator.
+code=$(submit "$DIST_SPEC" "$DIR/a.reject")
+[ "$code" = 400 ] || { echo "distributed submit on a plain daemon: HTTP $code, want 400"; exit 1; }
+wait_done "$id_serial" a
+digest_serial=$(field digest < "$DIR/a.status")
+[ -n "$digest_serial" ] || { echo "serial run produced no digest"; exit 1; }
+kill -TERM "$DPID"
+wait "$DPID" || { echo "serial daemon exited non-zero after SIGTERM"; exit 1; }
+echo "phase 0: serial digest $digest_serial"
+
+# ---- phase 1: kill -9 a worker mid-cell ----------------------------------
+start_daemon "$DIR/b" b1 127.0.0.1:0 -coordinator -lease-ttl 1s
+CADDR=$ADDR
+code=$(submit "$DIST_SPEC" "$DIR/b.sub")
+[ "$code" = 202 ] || { echo "distributed submit: HTTP $code, want 202"; exit 1; }
+id=$(field id < "$DIR/b.sub")
+[ "$id" != "$id_serial" ] || { echo "distributed flag did not change the job identity"; exit 1; }
+
+start_worker w1
+W1=$WPID
+wait_log '\-> worker w1' "$DIR/b1.log" "a lease granted to w1"
+kill -9 "$W1" 2>/dev/null || true
+wait "$W1" 2>/dev/null || true
+wait_log 'expired (worker w1' "$DIR/b1.log" "w1's orphaned lease to expire"
+echo "phase 1: w1 kill -9'd mid-cell, orphaned lease expired"
+
+# ---- phase 2: SIGSTOP a worker past its lease TTL ------------------------
+start_worker w2
+W2=$WPID
+wait_log '\-> worker w2' "$DIR/b1.log" "a lease granted to w2"
+kill -STOP "$W2"
+wait_log 'expired (worker w2' "$DIR/b1.log" "w2's lease to expire during SIGSTOP"
+kill -CONT "$W2"
+echo "phase 2: w2 SIGSTOPped past lease expiry, resumed; stale completion will be discarded"
+
+# ---- phase 3: kill -9 the coordinator daemon, restart over the same dir --
+wait_log 'settled (attempts' "$DIR/b1.log" "a settled cell before the coordinator kill"
+kill -9 "$DPID" 2>/dev/null || true
+wait "$DPID" 2>/dev/null || true
+[ ! -f "$DIR/b/$id.result.json" ] || { echo "coordinator kill landed after completion; no crash window"; exit 1; }
+start_daemon "$DIR/b" b2 "$CADDR" -coordinator -lease-ttl 1s
+echo "phase 3: coordinator kill -9'd mid-campaign, restarted on $ADDR"
+
+# ---- phase 4: fault-injected and replacement workers finish the job ------
+start_worker w3 -fault seed=7,drop=0.15,err=0.15
+W3=$WPID
+start_worker w4
+W4=$WPID
+wait_done "$id" b
+digest_dist=$(field digest < "$DIR/b.status")
+[ "$digest_dist" = "$digest_serial" ] || { echo "distributed digest $digest_dist != serial $digest_serial"; exit 1; }
+echo "phase 4: campaign finished under faults; digest $digest_dist matches serial"
+
+# ---- acceptance: journal holds each cell once, within the retry budget ---
+journal="$DIR/b/$id.jsonl"
+[ -f "$journal" ] || { echo "no journal at $journal"; exit 1; }
+lines=$(wc -l < "$journal")
+[ "$lines" = 12 ] || { echo "journal holds $lines records, want 12 (double-journaled or missing cells)"; exit 1; }
+over=$(grep -o '"attempts":[0-9]*' "$journal" | sed 's/.*://' | awk -v b="$BUDGET" '$1 > b' | wc -l)
+[ "$over" = 0 ] || { echo "$over cells exceeded the retry budget of $BUDGET"; exit 1; }
+grep -q 'expired' "$DIR/b1.log" || { echo "chaos run never exercised a lease expiry"; exit 1; }
+
+kill -TERM "$W2" "$W3" "$W4" 2>/dev/null || true
+wait "$W2" "$W3" "$W4" 2>/dev/null || true
+kill -TERM "$DPID"
+wait "$DPID" || { echo "coordinator daemon exited non-zero after SIGTERM"; exit 1; }
+echo "smoke-dist: OK"
