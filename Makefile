@@ -40,13 +40,13 @@ race:
 # are the tests that exercise the concurrent shard workers, including
 # checkpoint/resume of the sharded trainer at Workers=1,2,4,8).
 race-train:
-	$(GO) test -race -run 'BitIdentical|Sharded|TailBatch|ShardEngine|ForwardShard|Checkpoint|Resume' ./internal/nn/
+	$(GO) test -race -run 'BitIdentical|Sharded|TailBatch|ShardEngine|ForwardShard|Checkpoint|Resume|Pipelined' ./internal/nn/
 
 # bench measures the parallel hot path, sweep throughput, batched
 # inference and sharded training at 1, 4 and all cores (bit-identical
 # physics and weights at every -cpu setting).
 bench:
-	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched|Training' -cpu 1,4,8 -benchtime 2s .
+	$(GO) test -run xxx -bench 'HotPath|Sweep|Batched|Training|MatMul' -cpu 1,4,8 -benchtime 2s .
 
 # bench-json records the training / inference / sweep / campaign
 # benchmark numbers as JSON (BENCH_PR<N>.json) and diffs them against
@@ -60,7 +60,7 @@ PR ?= $(shell expr $(BENCH_LATEST) + 1)
 BENCH_PREV = $(shell ls BENCH_PR*.json 2>/dev/null | sed -E 's/.*BENCH_PR([0-9]+)\.json/\1/' | awk '$$1 < $(PR)' | sort -n | tail -1)
 bench-json:
 	@test -n "$(BENCH_PREV)" || { echo "bench-json: no previous BENCH_PR*.json below PR=$(PR) to diff against"; exit 1; }
-	$(GO) test -run xxx -bench 'Training|Batched|Sweep' -cpu 1,4,8 -benchtime 1s . \
+	$(GO) test -run xxx -bench 'Training|Batched|Sweep|MatMul' -cpu 1,4,8 -benchtime 1s . \
 		| $(GO) run ./tools/benchjson -out BENCH_PR$(PR).json -diff BENCH_PR$(BENCH_PREV).json
 
 # smoke-campaign is the CI interrupt/resume check: run a tiny

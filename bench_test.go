@@ -547,6 +547,170 @@ func BenchmarkBatchedInference(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Raw-speed floor: GEMM kernels, pipelined trainer, float32 inference.
+
+// sparseTensor fills a tensor with normal variates and ~25% exact
+// zeros — the sparsity pattern ReLU activations feed the training
+// GEMMs, which the kernels' zero-skip is tuned for.
+func sparseTensor(r *rng.Source, rows, cols int) *tensor.Tensor {
+	t := tensor.New(rows, cols)
+	t.RandomNormal(r, 1)
+	for i := range t.Data {
+		if r.Float64() < 0.25 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// benchMatMul times the tiled kernel against the naive reference for
+// one shape x transpose case (both in the same process, so the ratio is
+// immune to cross-session machine noise). Steady-state allocs/op must
+// stay at goroutine-bookkeeping level: the TN transpose pack comes from
+// a pool (TestMatMulPackPooled in internal/tensor asserts it).
+func benchMatMul(b *testing.B, m, k, n int, transA, transB bool) {
+	r := rng.New(61)
+	am, ak := m, k
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := k, n
+	if transB {
+		bk, bn = bn, bk
+	}
+	a := sparseTensor(r, am, ak)
+	w := sparseTensor(r, bk, bn)
+	dst := tensor.New(m, n)
+	b.Run("tiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(dst, a, w, transA, transB)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulRef(dst, a, w, transA, transB)
+		}
+	})
+}
+
+// matMulShapes is the recorded GEMM grid: the paper-shaped forward
+// product (batch 64, 4096 phase-space inputs), a square stress shape,
+// and a narrow-output tail. The NT and TN variants run the same grid in
+// their gradient orientation (dx = dy * W^T, dW = x^T * dy).
+var matMulShapes = []struct{ m, k, n int }{
+	{64, 4096, 256}, // paper-shaped
+	{512, 512, 512}, // square
+	{64, 1024, 64},  // narrow output
+}
+
+// BenchmarkMatMul_NN times the forward-pass orientation (x * W).
+func BenchmarkMatMul_NN(b *testing.B) {
+	for _, sh := range matMulShapes {
+		b.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(b *testing.B) {
+			benchMatMul(b, sh.m, sh.k, sh.n, false, false)
+		})
+	}
+}
+
+// BenchmarkMatMul_NT times the input-gradient orientation (dy * W^T).
+func BenchmarkMatMul_NT(b *testing.B) {
+	for _, sh := range matMulShapes {
+		// Gradient orientation: m rows of dy against the k-dim of W.
+		m, k, n := sh.m, sh.n, sh.k
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			benchMatMul(b, m, k, n, false, true)
+		})
+	}
+}
+
+// BenchmarkMatMul_TN times the weight-gradient orientation (x^T * dy).
+func BenchmarkMatMul_TN(b *testing.B) {
+	for _, sh := range matMulShapes {
+		// Weight gradient: [k-in, batch] x [batch, n-out].
+		m, k, n := sh.k, sh.m, sh.n
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			benchMatMul(b, m, k, n, true, false)
+		})
+	}
+}
+
+// BenchmarkTraining_PipelinedFit compares the serial batch loop against
+// the pipelined trainer (gather of batch t+1 overlapped with the clip +
+// optimizer step of batch t) on a paper-shaped MLP, in one process.
+// Weights are bit-identical between the variants
+// (TestPipelinedFitBitIdentical); only the wall clock moves.
+func BenchmarkTraining_PipelinedFit(b *testing.B) {
+	const inDim, outDim, hidden, n = 4096, 64, 256, 128
+	r := rng.New(63)
+	x := tensor.New(n, inDim)
+	y := tensor.New(n, outDim)
+	x.RandomNormal(r, 1)
+	y.RandomNormal(r, 0.1)
+	for _, tc := range []struct {
+		name     string
+		pipeline bool
+	}{
+		{"serial", false},
+		{"pipelined", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			net, err := nn.NewMLP(nn.MLPConfig{
+				InDim: inDim, OutDim: outDim, Hidden: hidden, HiddenLayers: 3}, rng.New(64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := nn.NewAdam(1e-4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nn.Fit(net, x, y, nil, nil, nn.TrainConfig{
+					Epochs: 1, BatchSize: 64, Optimizer: opt, Loss: nn.MSE{},
+					Seed: uint64(i), Pipeline: tc.pipeline,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchedInference32 compares the float64 batched forward pass
+// against the opt-in float32 inference path on the paper-shaped MLP —
+// the converted-weight GEMMs move half the bytes per solve. One op is
+// one 16-row stacked solve (a 16-scenario pool's per-step cost).
+func BenchmarkBatchedInference32(b *testing.B) {
+	const inDim, outDim, width = 4096, 64, 16
+	net, err := nn.NewMLP(nn.MLPConfig{InDim: inDim, OutDim: outDim, Hidden: 256, HiddenLayers: 3}, rng.New(65))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred32, err := nn.NewPredictor32(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(66)
+	in := make([]float64, width*inDim)
+	for i := range in {
+		in[i] = r.Float64()
+	}
+	out := make([]float64, width*outDim)
+	b.Run("f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.PredictBatch(width, in, out)
+		}
+	})
+	b.Run("f32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pred32.PredictBatch(width, in, out)
+		}
+	})
+}
+
 // benchDLSweep runs the fixture's trained MLP over a 4-scenario grid
 // through the sweep engine, either per-call (one solver clone per
 // scenario) or through the batched inference server.

@@ -69,6 +69,8 @@ func main() {
 		bundles = flag.String("bundle-dir", "", "persist and reuse trained model bundles + epoch-granular training checkpoints in this directory, keyed by training fingerprint (default: <journal>.artifacts when -journal/-resume is set; DL methods then resume mid-training and a completed campaign resumes with zero training epochs)")
 		batched = flag.Bool("batched", false, "route DL field solves through the shared batched-inference server; without -methods, runs the per-call vs batched A/B verification scan")
 		batchN  = flag.Int("batch", 0, "batched-inference flush cap (0 = default)")
+		f32     = flag.Bool("f32", false, "run DL field solves in float32 (converted weights, ~half the inference memory traffic); dense stacks (mlp) only — results drift within the nn.MeasureDrift32 bounds, so digests only reproduce against other -f32 runs")
+		trainP  = flag.Bool("train-pipeline", false, "overlap minibatch gathers with optimizer steps during training; trained weights are bit-identical with or without it")
 	)
 	flag.Parse()
 	// The campaign flags only act under -scan; reject them otherwise
@@ -86,7 +88,7 @@ func main() {
 			if *journal != "" || *resume != "" || *bundles != "" {
 				err = errors.New("-journal/-resume/-bundle-dir need a campaign scan: pass -methods (e.g. -methods mlp -batched)")
 			} else {
-				err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load, *trainW)
+				err = runBatchedScan(*scanV0s, *scanVth, *scanRep, *steps, *seed, *workers, *batchN, *paper, *load, *trainW, *trainP, *f32)
 			}
 		} else {
 			err = runMethodScan(scanArgs{
@@ -95,6 +97,7 @@ func main() {
 				methods: *methods, batched: *batched, batchN: *batchN,
 				journal: *journal, resume: *resume, bundleDir: *bundles,
 				paper: *paper, load: *load, trainWorkers: *trainW,
+				trainPipeline: *trainP, f32: *f32,
 			})
 		}
 		if err != nil {
@@ -107,7 +110,7 @@ func main() {
 			return
 		}
 	}
-	if err := run(*paper, *tiny, *seed, *outdir, *skipCNN, *table1, *fig4, *fig5, *fig6, *oracle, *steps, *load, *trainW); err != nil {
+	if err := run(*paper, *tiny, *seed, *outdir, *skipCNN, *table1, *fig4, *fig5, *fig6, *oracle, *steps, *load, *trainW, *trainP, *f32); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -128,6 +131,8 @@ type scanArgs struct {
 	paper           bool
 	load            string
 	trainWorkers    int
+	trainPipeline   bool
+	f32             bool
 }
 
 // runMethodScan runs the v0 x vth grid as a resumable multi-method
@@ -197,12 +202,14 @@ func runMethodScan(a scanArgs) error {
 		pipeOpts := experiments.Options{
 			Tiny: !a.paper, Paper: a.paper, Seed: a.seed, Log: os.Stderr,
 			SkipCNN: !needCNN, LoadModels: a.load, TrainWorkers: a.trainWorkers,
-			BundleDir: bundleDir,
+			BundleDir: bundleDir, TrainPipeline: a.trainPipeline, Inference32: a.f32,
 		}
 		base = pipeOpts.BaseConfig()
 		provider = experiments.NewPipelineProvider(pipeOpts)
 	}
-	specs, cleanup, err := experiments.Methods(provider, names, a.batched, a.batchN)
+	specs, cleanup, err := experiments.MethodsWith(provider, names, experiments.MethodConfig{
+		Batched: a.batched, MaxBatch: a.batchN, Inference32: a.f32,
+	})
 	if err != nil {
 		return err
 	}
@@ -222,6 +229,9 @@ func runMethodScan(a scanArgs) error {
 	}
 	if bundleDir != "" {
 		fmt.Printf("model bundles: %s\n", bundleDir)
+	}
+	if a.f32 {
+		fmt.Println("float32 inference: on (digest comparable only to other -f32 runs)")
 	}
 
 	spec := campaign.Spec{
@@ -311,7 +321,7 @@ func scanProgress(stage string) func(done, total int) {
 // sets are bit-identical and reports timings plus batch statistics. The
 // scan reuses the trained pipeline's base configuration — the model
 // fixes the grid, particle count and normalizer.
-func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, workers, batchN int, paper bool, load string, trainWorkers int) error {
+func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, workers, batchN int, paper bool, load string, trainWorkers int, trainPipeline, f32 bool) error {
 	v0s, err := cliutil.ParseFloats(v0sRaw)
 	if err != nil {
 		return err
@@ -325,7 +335,7 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 	}
 	p, err := experiments.New(experiments.Options{
 		Tiny: !paper, Paper: paper, Seed: seed, Log: os.Stderr, SkipCNN: true, LoadModels: load,
-		TrainWorkers: trainWorkers,
+		TrainWorkers: trainWorkers, TrainPipeline: trainPipeline, Inference32: f32,
 	})
 	if err != nil {
 		return err
@@ -333,13 +343,22 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 	scenarios := sweep.Grid(p.Cfg, v0s, vths, repeats, steps, seed)
 	fmt.Printf("== DL growth-rate scan: %d scenarios x %d steps, %d particles each ==\n",
 		len(scenarios), steps, p.Cfg.NumParticles())
-	fmt.Printf("solver: %s\n\n", p.MLP.Net.Summary())
+	fmt.Printf("solver: %s\n", p.MLP.Net.Summary())
+	if f32 {
+		fmt.Println("float32 inference: on (both paths)")
+	}
+	fmt.Println()
 
 	startPC := time.Now()
 	perCall := sweep.Run(scenarios, sweep.Options{
 		Workers: workers,
 		Methods: []sweep.MethodSpec{{Name: "mlp", Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
-			return p.MLP.Clone()
+			c, err := p.MLP.Clone()
+			if err != nil {
+				return nil, err
+			}
+			c.Inference32 = f32
+			return c, nil
 		}}},
 		Progress: scanProgress("per-call"),
 	})
@@ -348,7 +367,14 @@ func runBatchedScan(v0sRaw, vthsRaw string, repeats, steps int, seed uint64, wor
 		return err
 	}
 
-	bs, err := batch.FromNNSolver(p.MLP, batchN)
+	// The A/B identity holds in either precision: with -f32 both paths
+	// run the same converted predictor, whose batch invariance is the
+	// same property the float64 server relies on.
+	fromSolver := batch.FromNNSolver
+	if f32 {
+		fromSolver = batch.FromNNSolver32
+	}
+	bs, err := fromSolver(p.MLP, batchN)
 	if err != nil {
 		return err
 	}
@@ -397,7 +423,7 @@ func sameSamples(a, b []diag.Sample) bool {
 	return true
 }
 
-func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, oracle bool, steps int, load string, trainWorkers int) error {
+func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, oracle bool, steps int, load string, trainWorkers int, trainPipeline, f32 bool) error {
 	// -oracle is additive: it never suppresses the main suite.
 	all := !t1 && !f4 && !f5 && !f6
 	if outdir != "" {
@@ -415,9 +441,16 @@ func run(paper, tiny bool, seed uint64, outdir string, skipCNN, t1, f4, f5, f6, 
 	p, err := experiments.New(experiments.Options{
 		Paper: paper, Tiny: tiny, Seed: seed, Log: os.Stderr, SkipCNN: skipCNN,
 		ModelDir: modelDir, LoadModels: load, TrainWorkers: trainWorkers,
+		TrainPipeline: trainPipeline, Inference32: f32,
 	})
 	if err != nil {
 		return err
+	}
+	if f32 {
+		// The CNN has no float32 path (conv layers are not converted);
+		// only the MLP's solves switch precision.
+		p.MLP.Inference32 = true
+		fmt.Println("float32 MLP inference: on")
 	}
 	fmt.Printf("DL-PIC experiment harness — %s scale, seed %d\n", scaleName(paper, tiny), seed)
 	fmt.Printf("corpus: %d train / %d val / %d test-I samples (%v generation)\n\n",

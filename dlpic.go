@@ -599,6 +599,28 @@ func NewBatchedSolver(s *NNSolver, maxBatch int) (*BatchedSolver, error) {
 	return batch.FromNNSolver(s, maxBatch)
 }
 
+// NewBatchedSolver32 is NewBatchedSolver on the opt-in float32
+// inference path: the solver's dense weights are converted once and
+// every stacked solve runs in float32 (about half the inference memory
+// traffic). Results drift from the float64 path within the bounds
+// reported by MeasureInferenceDrift; they remain bit-identical across
+// worker counts and batch caps. Dense (MLP) networks only.
+func NewBatchedSolver32(s *NNSolver, maxBatch int) (*BatchedSolver, error) {
+	return batch.FromNNSolver32(s, maxBatch)
+}
+
+// InferenceDrift summarizes float32-vs-float64 prediction disagreement
+// (see MeasureInferenceDrift).
+type InferenceDrift = nn.Drift32
+
+// MeasureInferenceDrift runs every row of x through both the float64
+// network and its float32 conversion and reports the drift statistics —
+// the accuracy harness behind the float32 inference opt-in
+// (NNSolver.Inference32, NewBatchedSolver32).
+func MeasureInferenceDrift(net *Network, x *tensor.Tensor, batchSize int) (InferenceDrift, error) {
+	return nn.MeasureDrift32(net, x, batchSize)
+}
+
 // MeasureGrowthRate fits the exponential growth of the recorded
 // mode-amplitude series using an automatic window between the noise
 // floor and saturation.

@@ -403,6 +403,31 @@ func FromNNSolver(s *core.NNSolver, maxBatch int) (*Solver, error) {
 	return NewSolver(s.Net, s.Spec, s.Norm, maxBatch)
 }
 
+// FromNNSolver32 is FromNNSolver on the float32 inference path: the
+// solver's network is converted once (nn.NewPredictor32) and the shared
+// server evaluates every scenario's batched solves in float32. The
+// conversion is eager so unsupported architectures fail here, not at
+// the first solve. Same post-processing restriction as FromNNSolver;
+// results differ from the float64 path within the nn.MeasureDrift32
+// bounds, so only compare digests across runs of the same precision.
+func FromNNSolver32(s *core.NNSolver, maxBatch int) (*Solver, error) {
+	if s == nil {
+		return nil, errors.New("batch: nil solver")
+	}
+	if s.ClampAbs != 0 || s.SmoothModes != 0 {
+		return nil, fmt.Errorf("batch: ClampAbs/SmoothModes post-processing is not supported on the batched path")
+	}
+	pred, err := nn.NewPredictor32(s.Net)
+	if err != nil {
+		return nil, fmt.Errorf("batch: float32 conversion: %w", err)
+	}
+	srv, err := NewServer(pred, pred.InDim(), pred.OutDim(), maxBatch)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{Server: srv, Spec: s.Spec, Norm: s.Norm}, nil
+}
+
 // FieldMethod implements sweep.Batcher: it registers a client for one
 // scenario of the given configuration.
 func (s *Solver) FieldMethod(cfg pic.Config) (pic.FieldMethod, error) {

@@ -64,6 +64,13 @@ type NNSolver struct {
 	SmoothModes int
 	smoothPlan  *fft.Plan
 	smoothSpec  []complex128
+	// Inference32 routes predictions through the float32 inference path
+	// (nn.PredictBatch32: converted weights, half the memory traffic).
+	// Opt-in: it changes results within the drift bounds measured by
+	// nn.MeasureDrift32, so campaign digests are only stable against
+	// runs using the same precision. Supported for dense stacks only;
+	// ComputeField reports the conversion error for other nets.
+	Inference32 bool
 
 	// Predictions counts ComputeField invocations (diagnostics).
 	Predictions int
@@ -102,7 +109,9 @@ func (s *NNSolver) ComputeField(sim *pic.Simulation, e []float64) error {
 		return err
 	}
 	s.Norm.Apply(s.in, s.hist.Data)
-	s.Net.Predict1(s.in, e)
+	if err := s.predict(e); err != nil {
+		return err
+	}
 	if s.SmoothModes > 0 {
 		s.lowPass(e)
 	}
@@ -121,6 +130,17 @@ func (s *NNSolver) ComputeField(sim *pic.Simulation, e []float64) error {
 		}
 	}
 	s.Predictions++
+	return nil
+}
+
+// predict evaluates the network on the prepared s.in, honouring the
+// precision selection. Both paths are batch-1 calls on shared solver
+// scratch — the Clone-per-scenario ownership rule is unchanged.
+func (s *NNSolver) predict(e []float64) error {
+	if s.Inference32 {
+		return s.Net.PredictBatch32(1, s.in, e)
+	}
+	s.Net.Predict1(s.in, e)
 	return nil
 }
 
@@ -162,6 +182,7 @@ func (s *NNSolver) Clone() (*NNSolver, error) {
 	}
 	c.ClampAbs = s.ClampAbs
 	c.SmoothModes = s.SmoothModes
+	c.Inference32 = s.Inference32
 	return c, nil
 }
 
@@ -173,8 +194,7 @@ func (s *NNSolver) PredictFromHistogram(histData, e []float64) error {
 		return fmt.Errorf("core: histogram length %d, want %d", len(histData), s.Spec.Size())
 	}
 	s.Norm.Apply(s.in, histData)
-	s.Net.Predict1(s.in, e)
-	return nil
+	return s.predict(e)
 }
 
 // ---------------------------------------------------------------------------

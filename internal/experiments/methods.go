@@ -128,11 +128,21 @@ func (l *lazyBatcher) close() {
 // PoolKey must fold in everything the built server depends on (the
 // pipeline's training identity and the batch cap); it is required when
 // Pool is set.
+//
+// Inference32 routes the DL methods' field solves through the float32
+// inference path (per-call: core.NNSolver.Inference32; batched:
+// batch.FromNNSolver32). Unlike Batched it is NOT result-neutral:
+// observables drift within the nn.MeasureDrift32 bounds, so campaign
+// digests only reproduce across runs of the same precision — and a
+// PoolKey used with it must fold the precision in, or float32 and
+// float64 campaigns would share a server. Dense stacks (the MLP) only;
+// the CNN reports the conversion error.
 type MethodConfig struct {
-	Batched  bool
-	MaxBatch int
-	Pool     *batch.Pool
-	PoolKey  func(method string) string
+	Batched     bool
+	MaxBatch    int
+	Pool        *batch.Pool
+	PoolKey     func(method string) string
+	Inference32 bool
 }
 
 // Methods resolves method names into the sweep method registry of a
@@ -195,6 +205,9 @@ func MethodsWith(provider PipelineProvider, names []string, mc MethodConfig) (sp
 				if err != nil {
 					return nil, err
 				}
+				if mc.Inference32 {
+					return batch.FromNNSolver32(solver, mc.MaxBatch)
+				}
 				return batch.FromNNSolver(solver, mc.MaxBatch)
 			}
 			if mc.Pool != nil {
@@ -215,7 +228,14 @@ func MethodsWith(provider PipelineProvider, names []string, mc MethodConfig) (sp
 			if err != nil {
 				return nil, err
 			}
-			return solver.Clone()
+			c, err := solver.Clone()
+			if err != nil {
+				return nil, err
+			}
+			if mc.Inference32 {
+				c.Inference32 = true
+			}
+			return c, nil
 		}}
 	}
 	for _, name := range names {

@@ -68,6 +68,17 @@ type Options struct {
 	// training engine (0 = GOMAXPROCS). Trained weights, losses and
 	// histories are bit-identical for any value.
 	TrainWorkers int
+	// TrainPipeline overlaps each batch's gather with the previous
+	// batch's optimizer step (nn.TrainConfig.Pipeline). Like
+	// TrainWorkers it is an execution-environment knob: weights and
+	// histories are bit-identical with it on or off, and it does not
+	// enter the training fingerprint BundleDir keys on.
+	TrainPipeline bool
+	// Inference32 routes DL field solves through the float32 inference
+	// path when the campaign's method registry opts in (see
+	// MethodConfig.Inference32). Training always stays float64; this
+	// option only threads the flag through to solver construction.
+	Inference32 bool
 }
 
 // Pipeline holds the shared state of the evaluation: the corpus, the
@@ -284,7 +295,7 @@ func New(opts Options) (*Pipeline, error) {
 		nn.TrainConfig{
 			Epochs: mlpEpochs, BatchSize: 64, Optimizer: nn.NewAdam(lr),
 			Loss: nn.MSE{}, Seed: opts.Seed + 3, Log: opts.Log, LogEvery: 5,
-			Workers: opts.TrainWorkers,
+			Workers: opts.TrainWorkers, Pipeline: opts.TrainPipeline,
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MLP training: %w", err)
@@ -319,7 +330,7 @@ func New(opts Options) (*Pipeline, error) {
 			nn.TrainConfig{
 				Epochs: cnnEpochs, BatchSize: 64, Optimizer: nn.NewAdam(lr),
 				Loss: nn.MSE{}, Seed: opts.Seed + 5, Log: opts.Log, LogEvery: 5,
-				Workers: opts.TrainWorkers,
+				Workers: opts.TrainWorkers, Pipeline: opts.TrainPipeline,
 			})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: CNN training: %w", err)

@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"dlpic/internal/tensor"
+)
+
+// Opt-in float32 inference. A trained float64 network is converted once
+// into a Predictor32 — weights and biases rounded to float32, dense
+// stacks fused with their trailing ReLUs — and batches are evaluated
+// entirely in float32 through tensor.MatMulF32: half the weight-matrix
+// memory traffic of the float64 forward pass, which is what the paper's
+// 4096-wide input projection is bound by. Training stays float64; only
+// inference opts in, and only explicitly (TrainConfig never touches
+// this, the -f32 flags and experiments.Options.Inference32 do).
+//
+// Precision, not determinism, is the trade: MatMulF32 follows the same
+// one-owner-per-element k-ascending contract as the float64 kernels, so
+// f32 results are bit-identical at any GOMAXPROCS and any batch size —
+// they just differ from the float64 results by rounding. MeasureDrift32
+// is the harness that bounds the difference; callers decide whether the
+// drift is acceptable for their observables.
+
+// denseStep32 is one fused dense(+ReLU) stage of a Predictor32.
+type denseStep32 struct {
+	in, out int
+	w       []float32 // [in, out] row-major, converted from Dense.W
+	b       []float32 // [out], converted from Dense.B
+	relu    bool      // apply max(0, x) after the bias add
+}
+
+// Predictor32 evaluates a converted network in float32. It implements
+// the batch.Predictor contract (panics on length mismatches, row r of a
+// batch bit-identical to a batch-1 call on row r). Build with
+// NewPredictor32, or use Network.PredictBatch32 for a cached one.
+// Not safe for concurrent use: the activation buffers are shared
+// scratch, like Network's.
+type Predictor32 struct {
+	inDim, outDim int
+	steps         []denseStep32
+	act           [2][]float32 // ping-pong activation buffers
+}
+
+// NewPredictor32 converts net's weights to float32. Only Dense and ReLU
+// layers are supported — the paper's MLP surrogate, which is the model
+// the inference servers run hot. Conv/pool/residual nets return an
+// error naming the offending layer rather than silently degrading.
+func NewPredictor32(net *Network) (*Predictor32, error) {
+	p := &Predictor32{inDim: net.InDim, outDim: net.OutDim()}
+	for i := 0; i < len(net.Layers); i++ {
+		switch l := net.Layers[i].(type) {
+		case *Dense:
+			st := denseStep32{
+				in:  l.InDim,
+				out: l.OutDim_,
+				w:   make([]float32, l.W.Len()),
+				b:   make([]float32, l.B.Len()),
+			}
+			for j, v := range l.W.Data {
+				st.w[j] = float32(v)
+			}
+			for j, v := range l.B.Data {
+				st.b[j] = float32(v)
+			}
+			p.steps = append(p.steps, st)
+		case *ReLU:
+			if len(p.steps) == 0 {
+				return nil, fmt.Errorf("nn: float32 inference: layer %d (relu) precedes any dense layer", i)
+			}
+			p.steps[len(p.steps)-1].relu = true
+		default:
+			return nil, fmt.Errorf("nn: float32 inference supports Dense and ReLU only; layer %d is %s", i, l.Name())
+		}
+	}
+	if len(p.steps) == 0 {
+		return nil, fmt.Errorf("nn: float32 inference: network has no dense layers")
+	}
+	return p, nil
+}
+
+// InDim returns the per-sample input width.
+func (p *Predictor32) InDim() int { return p.inDim }
+
+// OutDim returns the per-sample output width.
+func (p *Predictor32) OutDim() int { return p.outDim }
+
+// buf returns ping-pong buffer slot resized to n (grow-only backing).
+func (p *Predictor32) buf(slot, n int) []float32 {
+	if cap(p.act[slot]) < n {
+		p.act[slot] = make([]float32, n)
+	}
+	p.act[slot] = p.act[slot][:n]
+	return p.act[slot]
+}
+
+// PredictBatch evaluates batch stacked samples: in holds batch rows of
+// InDim float64 values, out receives batch rows of OutDim values. The
+// float64 boundary keeps it drop-in where a Network would serve
+// (batch.Predictor); inputs are rounded to float32 on entry and results
+// widened on exit. Panics on length mismatches, like
+// Network.PredictBatch.
+func (p *Predictor32) PredictBatch(batch int, in, out []float64) {
+	if batch < 1 {
+		panic(fmt.Sprintf("nn: Predictor32 batch %d, want >= 1", batch))
+	}
+	if len(in) != batch*p.inDim {
+		panic(fmt.Sprintf("nn: Predictor32 input length %d, want %d x %d", len(in), batch, p.inDim))
+	}
+	if len(out) != batch*p.outDim {
+		panic(fmt.Sprintf("nn: Predictor32 output length %d, want %d x %d", len(out), batch, p.outDim))
+	}
+	cur := 0
+	a := p.buf(cur, batch*p.inDim)
+	for i, v := range in {
+		a[i] = float32(v)
+	}
+	for _, st := range p.steps {
+		dst := p.buf(1-cur, batch*st.out)
+		tensor.MatMulF32(dst, a, st.w, batch, st.in, st.out)
+		for r := 0; r < batch; r++ {
+			row := dst[r*st.out : (r+1)*st.out]
+			for j, bv := range st.b {
+				row[j] += bv
+			}
+			if st.relu {
+				for j, v := range row {
+					if v < 0 {
+						row[j] = 0
+					}
+				}
+			}
+		}
+		cur = 1 - cur
+		a = dst
+	}
+	for i, v := range a {
+		out[i] = float64(v)
+	}
+}
+
+// PredictBatch32 is PredictBatch through a lazily built, cached float32
+// predictor. The cache is invalidated by training (fitLoop) and by
+// InvalidateF32; it returns NewPredictor32's error for unsupported
+// architectures. Like PredictBatch it panics on length mismatches.
+func (n *Network) PredictBatch32(batch int, in, out []float64) error {
+	if n.p32 == nil {
+		p, err := NewPredictor32(n)
+		if err != nil {
+			return err
+		}
+		n.p32 = p
+	}
+	n.p32.PredictBatch(batch, in, out)
+	return nil
+}
+
+// InvalidateF32 drops the cached converted weights so the next
+// PredictBatch32 rebuilds them. Any code that mutates the network's
+// weights outside Fit must call this before serving float32 results.
+func (n *Network) InvalidateF32() { n.p32 = nil }
+
+// Drift32 summarizes float32-vs-float64 inference disagreement over a
+// dataset: per-element absolute drift (max and mean), and the max drift
+// relative to the largest float64 output magnitude (Scale) — the
+// normalization that keeps near-zero outputs from dominating a
+// per-element relative measure.
+type Drift32 struct {
+	MaxAbs  float64
+	MeanAbs float64
+	MaxRel  float64 // MaxAbs / Scale (0 when Scale is 0)
+	Scale   float64 // max |float64 output| over the dataset
+	N       int     // elements compared
+}
+
+// MeasureDrift32 is the accuracy harness for the float32 path: it runs
+// every row of x (a [samples, InDim] tensor) through both the float64
+// network and a freshly converted Predictor32 in batches of batchSize,
+// and returns the drift statistics. The float64 outputs are the
+// reference — the same goldens every campaign digest is built on.
+func MeasureDrift32(net *Network, x *tensor.Tensor, batchSize int) (Drift32, error) {
+	p, err := NewPredictor32(net)
+	if err != nil {
+		return Drift32{}, err
+	}
+	if x.Cols() != net.InDim {
+		return Drift32{}, fmt.Errorf("nn: drift input width %d, network wants %d", x.Cols(), net.InDim)
+	}
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	nRows := x.Rows()
+	outDim := net.OutDim()
+	var d Drift32
+	var sumAbs float64
+	out64 := make([]float64, batchSize*outDim)
+	out32 := make([]float64, batchSize*outDim)
+	for start := 0; start < nRows; start += batchSize {
+		end := start + batchSize
+		if end > nRows {
+			end = nRows
+		}
+		rows := end - start
+		in := x.Data[start*x.Cols() : end*x.Cols()]
+		o64 := out64[:rows*outDim]
+		o32 := out32[:rows*outDim]
+		net.PredictBatch(rows, in, o64)
+		p.PredictBatch(rows, in, o32)
+		for i, v := range o64 {
+			if a := math.Abs(v); a > d.Scale {
+				d.Scale = a
+			}
+			diff := math.Abs(o32[i] - v)
+			sumAbs += diff
+			if diff > d.MaxAbs {
+				d.MaxAbs = diff
+			}
+			d.N++
+		}
+	}
+	if d.N > 0 {
+		d.MeanAbs = sumAbs / float64(d.N)
+	}
+	if d.Scale > 0 {
+		d.MaxRel = d.MaxAbs / d.Scale
+	}
+	return d, nil
+}

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dlpic/internal/rng"
+)
+
+// mlp32 builds a small paper-flavoured MLP for the f32 tests.
+func mlp32(t *testing.T) *Network {
+	t.Helper()
+	net, err := NewMLP(MLPConfig{InDim: 24, OutDim: 8, Hidden: 48, HiddenLayers: 2}, rng.New(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestPredictor32Drift is the tier-1 accuracy gate on the float32 path:
+// per-element drift against the float64 forward pass must stay within a
+// float32-rounding budget. The bound is the harness's MaxRel — max
+// absolute drift normalized by the largest float64 output — with the
+// tolerance sized for ~100-term float32 dot products (k * 2^-23 with
+// k ≈ 50 gives ~6e-6; 1e-4 leaves a 16x margin so the gate catches
+// algorithmic mistakes, not rounding-noise weather).
+func TestPredictor32Drift(t *testing.T) {
+	net := mlp32(t)
+	r := rng.New(701)
+	x := randBatch(r, 96, 24)
+	d, err := MeasureDrift32(net, x, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 96*8 {
+		t.Fatalf("drift compared %d elements, want %d", d.N, 96*8)
+	}
+	if d.Scale == 0 {
+		t.Fatal("drift harness saw all-zero float64 outputs")
+	}
+	if d.MaxRel > 1e-4 {
+		t.Errorf("float32 drift MaxRel %g exceeds 1e-4 (MaxAbs %g, Scale %g)", d.MaxRel, d.MaxAbs, d.Scale)
+	}
+	if d.MeanAbs > d.MaxAbs {
+		t.Errorf("MeanAbs %g > MaxAbs %g", d.MeanAbs, d.MaxAbs)
+	}
+}
+
+// TestPredictor32BatchInvariance pins the batch.Predictor contract on
+// the f32 path: row r of a stacked batch is bit-identical to a batch-1
+// call on row r — what makes the batched f32 server equivalent to
+// per-call f32 solves.
+func TestPredictor32BatchInvariance(t *testing.T) {
+	net := mlp32(t)
+	p, err := NewPredictor32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(702)
+	x := randBatch(r, 17, 24)
+	batched := make([]float64, 17*8)
+	p.PredictBatch(17, x.Data, batched)
+	row := make([]float64, 8)
+	for i := 0; i < 17; i++ {
+		p.PredictBatch(1, x.Data[i*24:(i+1)*24], row)
+		for j := range row {
+			if math.Float64bits(row[j]) != math.Float64bits(batched[i*8+j]) {
+				t.Fatalf("row %d elem %d: batch-1 %v differs from stacked %v", i, j, row[j], batched[i*8+j])
+			}
+		}
+	}
+}
+
+// TestPredictor32RejectsUnsupported: conversion must refuse
+// architectures with non-dense layers instead of silently degrading.
+func TestPredictor32RejectsUnsupported(t *testing.T) {
+	cnn, err := NewCNN(CNNConfig{H: 8, W: 8, OutDim: 4, Channels1: 2, Channels2: 2,
+		Kernel: 3, Hidden: 8, HiddenLayers: 1}, rng.New(703))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPredictor32(cnn); err == nil {
+		t.Error("NewPredictor32 accepted a CNN")
+	}
+	if err := cnn.PredictBatch32(1, make([]float64, 64), make([]float64, 4)); err == nil {
+		t.Error("PredictBatch32 accepted a CNN")
+	}
+}
+
+// TestPredictBatch32CacheInvalidation: training must drop the cached
+// converted weights, so post-training float32 predictions reflect the
+// new float64 weights, not the ones converted before Fit ran.
+func TestPredictBatch32CacheInvalidation(t *testing.T) {
+	net := mlp32(t)
+	r := rng.New(704)
+	in := randBatch(r, 1, 24)
+	out := make([]float64, 8)
+	if err := net.PredictBatch32(1, in.Data, out); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), out...)
+	x := randBatch(r, 64, 24)
+	y := randBatch(r, 64, 8)
+	if _, err := Fit(net, x, y, nil, nil, TrainConfig{
+		Epochs: 2, BatchSize: 32, Optimizer: NewAdam(1e-2), Loss: MSE{}, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.PredictBatch32(1, in.Data, out); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range out {
+		if out[i] != before[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("PredictBatch32 served stale pre-training weights after Fit")
+	}
+	// And the rebuilt cache must match a fresh conversion exactly.
+	p, err := NewPredictor32(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]float64, 8)
+	p.PredictBatch(1, in.Data, fresh)
+	for i := range out {
+		if math.Float64bits(out[i]) != math.Float64bits(fresh[i]) {
+			t.Fatalf("cached predictor differs from fresh conversion at %d", i)
+		}
+	}
+}

@@ -109,6 +109,23 @@ func ForThreshold(n, threshold int, body func(start, end int)) {
 	wg.Wait()
 }
 
+// Async runs task on its own goroutine and returns a wait function
+// that blocks until the task completes. It is the sanctioned seam for
+// one-shot overlap of two disjoint pieces of work — the pipelined
+// trainer uses it to gather batch t+1 while the optimizer steps batch
+// t. Determinism is the caller's contract: task must touch only state
+// the caller does not read or write before wait returns, so the
+// overlap changes timing and nothing else. wait must be called exactly
+// once before any of the task's outputs are used.
+func Async(task func()) (wait func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		task()
+	}()
+	return func() { <-done }
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic chunked primitives
 

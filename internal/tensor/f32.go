@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"dlpic/internal/parallel"
+)
+
+// Float32 GEMM. The opt-in float32 inference path (nn.PredictBatch32)
+// runs its dense layers through this kernel against converted weights:
+// half the memory traffic of the float64 GEMM for the same blocking.
+// It follows the same determinism contract as every other kernel here
+// — each output element is one k-ascending accumulation chain (zero
+// a-entries skipped, like matMulNN) owned by exactly one worker, so
+// results are bit-identical at any GOMAXPROCS and per-row identical at
+// any batch size. What float32 changes is precision, not determinism;
+// the accuracy harness in internal/nn bounds that drift against the
+// float64 path.
+
+// MatMulF32 computes dst = a * b for row-major float32 matrices with a
+// m x kk, b kk x n, dst m x n (no transposes — the inference forward
+// pass needs only NN). Same row blocks, k-unroll and KC blocking as
+// the float64 nnKernel; deterministic at any GOMAXPROCS.
+func MatMulF32(dst, a, b []float32, m, kk, n int) {
+	if len(a) != m*kk || len(b) != kk*n || len(dst) != m*n {
+		panic("tensor: MatMulF32 shape/length mismatch")
+	}
+	// float32 rows are half the bytes, so twice as many b rows fit the
+	// same L2 budget.
+	kcap := gemmKCBytes / 4 / n
+	if kcap < gemmKCMin {
+		kcap = gemmKCMin
+	}
+	parallel.ForThreshold(m, gemmParThreshold, func(is, ie int) {
+		for kb := 0; kb < kk; kb += kcap {
+			ke := min(kb+kcap, kk)
+			for ib := is; ib < ie; ib += gemmRowBlock {
+				im := min(ib+gemmRowBlock, ie)
+				if kb == 0 {
+					for i := ib; i < im; i++ {
+						di := dst[i*n : i*n+n]
+						for j := range di {
+							di[j] = 0
+						}
+					}
+				}
+				k := kb
+				for ; k+1 < ke; k += 2 {
+					bk0 := b[k*n : k*n+n]
+					bk1 := b[(k+1)*n : (k+1)*n+n]
+					for i := ib; i < im; i++ {
+						v0 := a[i*kk+k]
+						v1 := a[i*kk+k+1]
+						if v0 == 0 && v1 == 0 {
+							continue
+						}
+						di := dst[i*n : i*n+n]
+						switch {
+						case v0 != 0 && v1 != 0:
+							for j, bv := range bk0 {
+								s := di[j] + v0*bv
+								di[j] = s + v1*bk1[j]
+							}
+						case v0 != 0:
+							for j, bv := range bk0 {
+								di[j] += v0 * bv
+							}
+						default:
+							for j, bv := range bk1 {
+								di[j] += v1 * bv
+							}
+						}
+					}
+				}
+				if k < ke {
+					bk := b[k*n : k*n+n]
+					for i := ib; i < im; i++ {
+						if v := a[i*kk+k]; v != 0 {
+							di := dst[i*n : i*n+n]
+							for j, bv := range bk {
+								di[j] += v * bv
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
