@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-train bench bench-json smoke-campaign smoke-train smoke-serve smoke-dist docs ci
+.PHONY: all build test vet lint race race-train bench bench-json bench-gate smoke-campaign smoke-train smoke-serve smoke-dist docs fmt-check verify-style ci
 
 all: ci
 
@@ -62,6 +62,17 @@ bench-json:
 	@test -n "$(BENCH_PREV)" || { echo "bench-json: no previous BENCH_PR*.json below PR=$(PR) to diff against"; exit 1; }
 	$(GO) test -run xxx -bench 'Training|Batched|Sweep|MatMul' -cpu 1,4,8 -benchtime 1s . \
 		| $(GO) run ./tools/benchjson -out BENCH_PR$(PR).json -diff BENCH_PR$(BENCH_PREV).json
+
+# bench-gate asserts the structural performance ratios (batched vs
+# per-call inference, tiled vs reference GEMM, sharded vs serial
+# training, batched vs per-cell lease claims) in the newest committed
+# BENCH_PR*.json stay inside fixed bounds. Ratios between benchmarks
+# from the same recording cancel out machine speed, so the gate holds
+# on any hardware — it catches a structurally disabled optimization,
+# not noise. Runs in CI without re-running the benchmarks.
+bench-gate:
+	@test -n "$(BENCH_LATEST)" || { echo "bench-gate: no committed BENCH_PR*.json to gate"; exit 1; }
+	$(GO) run ./tools/benchjson -gate BENCH_PR$(BENCH_LATEST).json
 
 # smoke-campaign is the CI interrupt/resume check: run a tiny
 # multi-method campaign with a journal, truncate the journal to its
@@ -151,5 +162,13 @@ smoke-dist:
 # `go doc` usable as the API reference.
 docs: vet
 	$(GO) run ./tools/lintdoc .
+
+# fmt-check fails (listing offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; test -z "$$out" || { echo "gofmt needed:"; echo "$$out"; exit 1; }
+
+# verify-style is the one style gate, identical for developers and CI:
+# gofmt cleanliness plus doc-comment coverage (which runs vet first).
+verify-style: fmt-check docs
 
 ci: build vet test

@@ -13,10 +13,15 @@
 // makes the eventual results bit-identical either way.
 //
 // With -coordinator the daemon additionally mounts the distributed
-// execution endpoints (/dist/claim, /dist/heartbeat, /dist/complete)
-// and jobs submitted with "distributed": true are fanned across
-// dlpicworker processes under the lease protocol of internal/dist —
-// same journal, same digest, workers merely execute.
+// execution endpoints (/dist/claim, /dist/heartbeat, /dist/complete,
+// GET /bundles/{fingerprint}) and jobs submitted with
+// "distributed": true are fanned across dlpicworker processes under
+// the lease protocol of internal/dist — same journal, same digest,
+// workers merely execute. DL methods train in the daemon first (into
+// the shared bundle store), then ship to workers as
+// fingerprint-addressed, digest-verified model bundles; workers cache
+// them on disk (-cache-dir) so a fleet downloads each bundle once per
+// worker.
 package main
 
 import (

@@ -7,12 +7,18 @@
 // hurting the campaign — its cells are simply re-leased elsewhere and
 // the final digest is bit-identical to a serial run.
 //
-// Workers execute model-free methods only (-methods, default
-// traditional,oracle): method names cross the wire, trained model
-// backends do not. -fault injects a deterministic, seed-keyed fault
-// schedule on the RPC boundary (see dist.ParseFaultPlan) for chaos
-// testing. SIGINT/SIGTERM stops gracefully between cells: an in-flight
-// cell finishes and reports before the worker exits.
+// Model-free methods (traditional, oracle) execute from the worker's
+// built-in registry. DL methods (mlp, cnn) require -cache-dir: their
+// trained model bundles ship from the coordinator on first use —
+// fingerprint-addressed, digest-verified — and land in the worker's
+// on-disk LRU cache, so a fleet downloads each bundle once per worker
+// rather than once per cell. -claim-batch asks the coordinator for up
+// to k cells per claim round-trip (completion stays per-cell).
+// -fault injects a deterministic, seed-keyed fault schedule on the RPC
+// boundary (see dist.ParseFaultPlan; kind-scoped fields like
+// bundle.drop=0.5 target one RPC kind) for chaos testing.
+// SIGINT/SIGTERM stops gracefully between cells: an in-flight cell
+// finishes and reports before the worker exits.
 package main
 
 import (
@@ -31,18 +37,22 @@ import (
 func main() {
 	coordinator := flag.String("coordinator", "http://127.0.0.1:8350", "coordinator base URL (a dlpicd started with -coordinator)")
 	id := flag.String("id", "", "worker id (required; lands in lease ids and coordinator logs)")
-	methods := flag.String("methods", "traditional,oracle", "comma-separated model-free method names this worker can execute")
+	methods := flag.String("methods", "traditional,oracle", "comma-separated method names this worker can execute (mlp/cnn need -cache-dir)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "idle claim poll period")
-	fault := flag.String("fault", "", "injected RPC fault plan, e.g. seed=7,drop=0.2,err=0.1,delay=0.15:40ms (empty = none)")
+	fault := flag.String("fault", "", "injected RPC fault plan, e.g. seed=7,drop=0.2,bundle.delay=1:2s (empty = none)")
 	once := flag.Bool("once", false, "exit when the coordinator reports all jobs done instead of polling for new ones")
+	cacheDir := flag.String("cache-dir", "", "on-disk model-bundle cache directory (required for DL methods)")
+	cacheMax := flag.Int("cache-max", dist.DefaultCacheEntries, "bundle cache capacity (LRU entries)")
+	claimBatch := flag.Int("claim-batch", 1, "cells to request per claim round-trip (the coordinator may grant fewer)")
 	flag.Parse()
-	if err := run(*coordinator, *id, *methods, *poll, *fault, *once); err != nil {
+	if err := run(*coordinator, *id, *methods, *poll, *fault, *once, *cacheDir, *cacheMax, *claimBatch); err != nil {
 		fmt.Fprintln(os.Stderr, "dlpicworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(coordinator, id, methods string, poll time.Duration, fault string, once bool) error {
+func run(coordinator, id, methods string, poll time.Duration, fault string, once bool,
+	cacheDir string, cacheMax, claimBatch int) error {
 	if id == "" {
 		return fmt.Errorf("-id is required")
 	}
@@ -50,26 +60,51 @@ func run(coordinator, id, methods string, poll time.Duration, fault string, once
 	if err != nil {
 		return err
 	}
-	if needMLP || needCNN {
-		return fmt.Errorf("workers execute model-free methods only (got %q)", methods)
+	// Split the registry: model-free names execute from built-in
+	// factories; DL names are bundle-backed — the coordinator ships the
+	// trained models, the cache holds them, experiments.BundleMethod
+	// turns them into the exact per-call specs a serial run would use.
+	var localNames, bundleNames []string
+	for _, name := range names {
+		if name == experiments.MethodMLP || name == experiments.MethodCNN {
+			bundleNames = append(bundleNames, name)
+		} else {
+			localNames = append(localNames, name)
+		}
 	}
-	specs, cleanup, err := experiments.MethodsWith(nil, names, experiments.MethodConfig{})
-	if err != nil {
-		return err
+	opts := dist.WorkerOptions{
+		ID:           id,
+		Poll:         poll,
+		ClaimBatch:   claimBatch,
+		ExitWhenDone: once,
+		Log:          os.Stderr,
 	}
-	defer cleanup()
+	if (needMLP || needCNN) && cacheDir == "" {
+		return fmt.Errorf("DL methods need a bundle cache: set -cache-dir (got -methods %q)", methods)
+	}
+	if len(localNames) > 0 {
+		specs, cleanup, err := experiments.MethodsWith(nil, localNames, experiments.MethodConfig{})
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		opts.Methods = specs
+	}
+	if cacheDir != "" {
+		cache, err := dist.NewBundleCache(cacheDir, cacheMax)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+		opts.BundleMethod = experiments.BundleMethod
+		opts.BundleMethods = bundleNames
+	}
 	plan, err := dist.ParseFaultPlan(fault)
 	if err != nil {
 		return err
 	}
-	w, err := dist.NewWorker(dist.WorkerOptions{
-		ID:           id,
-		Client:       dist.NewClient(coordinator, plan),
-		Methods:      specs,
-		Poll:         poll,
-		ExitWhenDone: once,
-		Log:          os.Stderr,
-	})
+	opts.Client = dist.NewClient(coordinator, plan)
+	w, err := dist.NewWorker(opts)
 	if err != nil {
 		return err
 	}

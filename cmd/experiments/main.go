@@ -21,6 +21,14 @@
 // checkpoint journal; -resume FILE continues an interrupted campaign,
 // re-running only the missing cells and reproducing the uninterrupted
 // results bit-identically (the printed campaign digest matches).
+//
+// -coordinator ADDR hosts the scan as a distributed campaign: instead
+// of the local sweep pool, a coordinator hub listens on ADDR and
+// dlpicworker fleets claim, execute and report the cells (requires
+// -journal or -resume — the coordinator is the journal's only writer).
+// DL methods train locally first, then ship to workers as
+// fingerprint-addressed model bundles served from the campaign's
+// bundle directory. The digest is bit-identical to a local run.
 package main
 
 import (
@@ -28,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -37,6 +47,7 @@ import (
 	"dlpic/internal/campaign"
 	"dlpic/internal/cliutil"
 	"dlpic/internal/diag"
+	"dlpic/internal/dist"
 	"dlpic/internal/experiments"
 	"dlpic/internal/pic"
 	"dlpic/internal/sweep"
@@ -70,14 +81,15 @@ func main() {
 		batched = flag.Bool("batched", false, "route DL field solves through the shared batched-inference server; without -methods, runs the per-call vs batched A/B verification scan")
 		batchN  = flag.Int("batch", 0, "batched-inference flush cap (0 = default)")
 		f32     = flag.Bool("f32", false, "run DL field solves in float32 (converted weights, ~half the inference memory traffic); dense stacks (mlp) only — results drift within the nn.MeasureDrift32 bounds, so digests only reproduce against other -f32 runs")
+		coord   = flag.String("coordinator", "", "host the -scan campaign's coordinator at this address (host:port) and execute on dlpicworker fleets instead of the local pool (needs -journal or -resume)")
 		trainP  = flag.Bool("train-pipeline", false, "overlap minibatch gathers with optimizer steps during training; trained weights are bit-identical with or without it")
 	)
 	flag.Parse()
 	// The campaign flags only act under -scan; reject them otherwise
 	// instead of silently running the (hours-long) full suite without
 	// journaling or method comparison.
-	if !*scan && (*methods != "" || *journal != "" || *resume != "" || *bundles != "") {
-		fmt.Fprintln(os.Stderr, "experiments: -methods/-journal/-resume/-bundle-dir need -scan")
+	if !*scan && (*methods != "" || *journal != "" || *resume != "" || *bundles != "" || *coord != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -methods/-journal/-resume/-bundle-dir/-coordinator need -scan")
 		os.Exit(1)
 	}
 	if *scan {
@@ -97,7 +109,7 @@ func main() {
 				methods: *methods, batched: *batched, batchN: *batchN,
 				journal: *journal, resume: *resume, bundleDir: *bundles,
 				paper: *paper, load: *load, trainWorkers: *trainW,
-				trainPipeline: *trainP, f32: *f32,
+				trainPipeline: *trainP, f32: *f32, coordinator: *coord,
 			})
 		}
 		if err != nil {
@@ -133,6 +145,7 @@ type scanArgs struct {
 	trainWorkers    int
 	trainPipeline   bool
 	f32             bool
+	coordinator     string
 }
 
 // runMethodScan runs the v0 x vth grid as a resumable multi-method
@@ -154,6 +167,17 @@ func runMethodScan(a scanArgs) error {
 	}
 	if a.journal != "" && a.resume != "" {
 		return errors.New("-journal and -resume are mutually exclusive (resume appends to the journal it reads)")
+	}
+	if a.coordinator != "" {
+		if a.journal == "" && a.resume == "" {
+			return errors.New("-coordinator needs -journal or -resume (the coordinator is the journal's only writer)")
+		}
+		if a.batched || a.f32 {
+			return errors.New("-coordinator executes cells on workers per-call in float64; drop -batched/-f32")
+		}
+		if a.load != "" {
+			return errors.New("-coordinator ships fingerprint-keyed bundles; -load-models bypasses the bundle store (use -bundle-dir instead)")
+		}
 	}
 	raw := a.methods
 	if raw == "" {
@@ -242,11 +266,21 @@ func runMethodScan(a scanArgs) error {
 			Progress: scanProgress("scan"),
 		},
 	}
+	if a.coordinator != "" {
+		// Worker churn and injected RPC faults make transient failures
+		// expected; give the campaign a real deterministic retry budget.
+		// The digest excludes attempt counts, so it still matches a
+		// local run's bit for bit.
+		spec.Retry = campaign.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, Seed: a.seed}
+	}
 	start := time.Now()
 	var results []sweep.Result
-	if a.resume != "" {
+	switch {
+	case a.coordinator != "":
+		results, err = runCoordinated(a.coordinator, path, bundleDir, spec, provider, names)
+	case a.resume != "":
 		results, err = campaign.Resume(path, spec)
-	} else {
+	default:
 		results, err = campaign.Run(path, spec)
 	}
 	// A journal-append failure (disk full, unserializable metric) still
@@ -276,6 +310,47 @@ func runMethodScan(a scanArgs) error {
 		return journalErr
 	}
 	return sweep.FirstError(results)
+}
+
+// runCoordinated hosts the scan's coordinator hub at addr and blocks
+// until remote dlpicworker fleets complete the campaign. DL methods
+// resolve eagerly — provider() trains (or reloads a
+// fingerprint-matched bundle) before the hub opens for claims — and
+// their persisted bundles ship to workers as fingerprint-addressed
+// BundleRefs served from bundleDir over GET /bundles/{fp}.
+func runCoordinated(addr, journalPath, bundleDir string, spec campaign.Spec,
+	provider experiments.PipelineProvider, names []string) ([]sweep.Result, error) {
+	var refs []dist.BundleRef
+	for _, name := range names {
+		if name != experiments.MethodMLP && name != experiments.MethodCNN {
+			continue
+		}
+		p, err := provider()
+		if err != nil {
+			return nil, err
+		}
+		bundlePath, ok := p.BundlePaths[name]
+		if !ok {
+			return nil, fmt.Errorf("distributed method %q has no persisted model bundle to ship (is the bundle directory writable?)", name)
+		}
+		ref, err := dist.BundleRefFromFile(name, bundlePath)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+	}
+	hub := dist.NewHub(dist.Options{Log: os.Stderr, BundleDir: bundleDir})
+	mux := http.NewServeMux()
+	hub.Register(mux)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator listen: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("coordinator listening on %s\n", ln.Addr())
+	return hub.Run("scan", journalPath, spec, refs...)
 }
 
 // methodScanTable renders one comparison row per scenario x method cell.

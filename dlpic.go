@@ -559,8 +559,21 @@ type (
 	// optionally wrapped in a deterministic injected-fault plan.
 	DistClient = dist.Client
 	// DistFaultPlan is a deterministic seed-keyed schedule of injected
-	// RPC faults (drops, discarded responses, delays) for chaos testing.
+	// RPC faults (drops, discarded responses, delays) for chaos testing;
+	// kind-scoped sub-plans (Kinds) target one RPC kind, e.g. bundle
+	// fetches.
 	DistFaultPlan = dist.FaultPlan
+	// DistBundleRef addresses one trained model bundle on the wire:
+	// backing method, storage fingerprint, and the content digest the
+	// worker verifies downloads against.
+	DistBundleRef = dist.BundleRef
+	// DistBundleCache is a worker's on-disk LRU cache of downloaded
+	// model bundles, keyed by fingerprint and digest-verified on insert.
+	DistBundleCache = dist.BundleCache
+	// DistCellGrant is one leased cell inside a batched claim response;
+	// each granted cell carries its own lease and (for DL methods) the
+	// bundle refs it needs.
+	DistCellGrant = dist.CellGrant
 )
 
 // NewDistHub returns a hub whose coordinators run with opts. A serving
@@ -582,9 +595,25 @@ func NewDistWorker(opts DistWorkerOptions) (*DistWorker, error) {
 
 // ParseDistFaultPlan parses the comma-separated fault-plan syntax of
 // dlpicworker's -fault flag, e.g. "seed=7,drop=0.2,err=0.1,
-// delay=0.15:40ms". An empty string is a nil (fault-free) plan.
+// delay=0.15:40ms,bundle.drop=0.5" (a kind-prefixed field scopes to
+// that RPC kind). An empty string is a nil (fault-free) plan.
 func ParseDistFaultPlan(s string) (*DistFaultPlan, error) {
 	return dist.ParseFaultPlan(s)
+}
+
+// NewDistBundleCache opens (creating if needed) a worker's on-disk
+// model-bundle cache at dir, holding at most max bundles (<= 0 selects
+// the dist default). Entries left by a previous worker process are
+// adopted; bytes are digest-verified on use.
+func NewDistBundleCache(dir string, max int) (*DistBundleCache, error) {
+	return dist.NewBundleCache(dir, max)
+}
+
+// DistBundleRefFromFile builds the wire reference of a persisted model
+// bundle for the given method name: fingerprint from the basename,
+// digest and size from the bytes.
+func DistBundleRefFromFile(method, path string) (DistBundleRef, error) {
+	return dist.BundleRefFromFile(method, path)
 }
 
 // NewBatchedSolver starts a batched inference backend around a trained

@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Model-bundle shipping. DL methods are data plus code: the code (the
+// solver implementation) ships with the worker binary, but the data —
+// the trained weights — exists only where training ran. The coordinator
+// therefore serves trained model bundles over GET /bundles/{fp}, and a
+// lease grant carries the BundleRefs its cell needs: the fingerprint
+// addressing the bundle (the experiments bundle store's
+// "<name>-<trainkey>" basename) and the SHA-256 of its bytes, verified
+// by the worker before a downloaded bundle enters its cache. Methods
+// still cross the wire as names; the refs are how a name becomes
+// executable on the other side.
+
+// bundleExt is the on-disk extension of model bundles; fingerprints
+// are bundle basenames without it.
+const bundleExt = ".dlpic"
+
+// BundleRef addresses one trained model bundle on the wire: which
+// method it backs, the fingerprint it is stored and cached under, and
+// the content digest the worker verifies the download against.
+type BundleRef struct {
+	// Method is the method registry name the bundle backs ("mlp",
+	// "cnn").
+	Method string `json:"method"`
+	// Fingerprint is the bundle's storage identity: the experiments
+	// bundle store's basename (training fingerprint included), without
+	// the .dlpic extension. It addresses GET /bundles/{fingerprint} and
+	// keys the worker cache.
+	Fingerprint string `json:"fingerprint"`
+	// Digest is the SHA-256 (hex) of the bundle bytes. A worker rejects
+	// any download that hashes differently — a torn read or a
+	// mid-restart swap can never poison a cache entry.
+	Digest string `json:"digest"`
+	// Size is the bundle's byte length (informational; logs and
+	// progress).
+	Size int64 `json:"size,omitempty"`
+}
+
+// BundleRefFromFile builds the wire reference of a persisted bundle:
+// fingerprint from the basename, digest and size from the bytes. The
+// coordinator side calls it once per job after training, so every
+// grant of that job hands out the same verified identity.
+func BundleRefFromFile(method, path string) (BundleRef, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BundleRef{}, fmt.Errorf("dist: bundle for method %q: %w", method, err)
+	}
+	fp := strings.TrimSuffix(filepath.Base(path), bundleExt)
+	if err := validFingerprint(fp); err != nil {
+		return BundleRef{}, err
+	}
+	sum := sha256.Sum256(data)
+	return BundleRef{
+		Method:      method,
+		Fingerprint: fp,
+		Digest:      hex.EncodeToString(sum[:]),
+		Size:        int64(len(data)),
+	}, nil
+}
+
+// fingerprintRe is the only shape a fingerprint may take: it becomes a
+// path component on both the serving and the caching side, so anything
+// beyond [A-Za-z0-9._-] (and any leading dot) is rejected outright
+// rather than sanitized.
+var fingerprintRe = regexp.MustCompile(`^[A-Za-z0-9_-][A-Za-z0-9._-]*$`)
+
+// validFingerprint rejects fingerprints that could escape the bundle
+// directory (path separators, "..") or hide as dotfiles.
+func validFingerprint(fp string) error {
+	if !fingerprintRe.MatchString(fp) || strings.Contains(fp, "..") {
+		return fmt.Errorf("dist: invalid bundle fingerprint %q", fp)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -34,18 +35,61 @@ func NewClient(base string, plan *FaultPlan) *Client {
 	}
 }
 
-// Claim asks for a cell to execute.
-func (c *Client) Claim(worker string, methods []string) (ClaimResponse, error) {
+// Claim asks for up to max cells to execute (max <= 0 asks for one).
+func (c *Client) Claim(worker string, methods []string, max int) (ClaimResponse, error) {
 	var resp ClaimResponse
-	err := c.do("claim", "/dist/claim", ClaimRequest{Worker: worker, Methods: methods}, &resp)
+	err := c.do("claim", "/dist/claim", ClaimRequest{Worker: worker, Methods: methods, Max: max}, &resp)
 	return resp, err
 }
 
-// Heartbeat extends a lease and returns the refreshed TTL.
-func (c *Client) Heartbeat(job, lease string) (time.Duration, error) {
+// Heartbeat extends the given leases of a job in one RPC and returns
+// the refreshed TTL plus the leases the coordinator no longer honors
+// (per-lease preemption). An all-gone batch surfaces as
+// ErrLeaseExpired, like the single-lease protocol always did.
+func (c *Client) Heartbeat(job string, leases []string) (time.Duration, []string, error) {
 	var resp HeartbeatResponse
-	err := c.do("heartbeat", "/dist/heartbeat", HeartbeatRequest{Job: job, Lease: lease}, &resp)
-	return time.Duration(resp.TTLMS) * time.Millisecond, err
+	err := c.do("heartbeat", "/dist/heartbeat", HeartbeatRequest{Job: job, Leases: leases}, &resp)
+	return time.Duration(resp.TTLMS) * time.Millisecond, resp.Expired, err
+}
+
+// FetchBundle downloads one model bundle from the coordinator's
+// bundle endpoint and returns its raw bytes. Digest verification is
+// the cache's job (BundleCache.Get) — this is just the transport, and
+// like every other RPC it runs through the fault seam (kind
+// "bundle"), so chaos plans cover mid-download failures too.
+func (c *Client) FetchBundle(fingerprint string) ([]byte, error) {
+	const kind = "bundle"
+	var f faultDecision
+	if c.faults != nil {
+		n := c.counts[kind]
+		c.counts[kind] = n + 1
+		f = c.faults.decide(kind, n)
+	}
+	if f.drop {
+		return nil, transientError("dist: injected fault: dropped bundle fetch")
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	hr, err := c.hc.Get(c.base + "/bundles/" + url.PathEscape(fingerprint))
+	if err != nil {
+		return nil, transientError(fmt.Sprintf("dist: bundle fetch: %v", err))
+	}
+	defer hr.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hr.Body, 1<<30))
+	if err != nil {
+		return nil, transientError(fmt.Sprintf("dist: bundle fetch read: %v", err))
+	}
+	switch {
+	case hr.StatusCode >= 500:
+		return nil, transientError(fmt.Sprintf("dist: bundle fetch: %s: %s", hr.Status, strings.TrimSpace(string(data))))
+	case hr.StatusCode >= 400:
+		return nil, fmt.Errorf("dist: bundle fetch %q: %s: %s", fingerprint, hr.Status, strings.TrimSpace(string(data)))
+	}
+	if f.err {
+		return nil, transientError("dist: injected fault: discarded bundle response")
+	}
+	return data, nil
 }
 
 // Complete reports a finished cell for journaling.

@@ -23,6 +23,10 @@ type Grant struct {
 	// the key), so the worker must honor them exactly.
 	SkipFit        bool
 	KeepFinalState bool
+	// Bundles are the trained model bundles the cell's method needs,
+	// fetchable from the coordinator's bundle endpoint (empty for
+	// model-free methods).
+	Bundles []BundleRef
 }
 
 // cellState tracks one campaign cell through the lease state machine:
@@ -50,14 +54,21 @@ type Coordinator struct {
 	job  string
 	opts Options
 	spec campaign.Spec
+	// bundles maps a method name to the model bundles its cells need;
+	// every grant of that method carries them.
+	bundles map[string][]BundleRef
 
 	journal *campaign.Journal
 	leases  *leaseLog
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	cells       []*cellState
-	byLease     map[string]*cellState
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cells   []*cellState
+	byLease map[string]*cellState
+	// claimers are the distinct worker ids that have claimed so far;
+	// batched claims divide the pending pool across them so one eager
+	// worker cannot hoard the campaign's tail.
+	claimers    map[string]bool
 	nextSeq     uint64
 	maxAttempts int
 	restored    int
@@ -70,7 +81,12 @@ type Coordinator struct {
 // journal already settles (successes, failures out of attempts) are
 // restored bit-identically and never re-leased; unexpired leases from
 // a previous coordinator incarnation stay with their workers.
-func NewCoordinator(job, journalPath string, spec campaign.Spec, opts Options) (*Coordinator, error) {
+//
+// bundles are the trained model bundles the campaign's DL methods
+// need: each grant of a method carries that method's refs, and the
+// hub's bundle endpoint serves their bytes. Model-free campaigns pass
+// none.
+func NewCoordinator(job, journalPath string, spec campaign.Spec, opts Options, bundles ...BundleRef) (*Coordinator, error) {
 	if journalPath == "" {
 		return nil, fmt.Errorf("dist: coordinator needs a journal path")
 	}
@@ -87,9 +103,14 @@ func NewCoordinator(job, journalPath string, spec campaign.Spec, opts Options) (
 		job:         job,
 		opts:        opts,
 		spec:        spec,
+		bundles:     make(map[string][]BundleRef),
 		journal:     journal,
 		byLease:     make(map[string]*cellState),
+		claimers:    make(map[string]bool),
 		maxAttempts: spec.Retry.Attempts(),
+	}
+	for _, ref := range bundles {
+		c.bundles[ref.Method] = append(c.bundles[ref.Method], ref)
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.cells = make([]*cellState, len(cells))
@@ -181,6 +202,26 @@ func (c *Coordinator) interruptedLocked() bool {
 // nothing is claimable right now — retry later — or (nil, true) when
 // every cell is settled and the campaign is finishing.
 func (c *Coordinator) Claim(worker string, methods []string) (*Grant, bool, error) {
+	grants, done, err := c.ClaimBatch(worker, methods, 1)
+	if len(grants) > 0 {
+		return grants[0], done, err
+	}
+	return nil, done, err
+}
+
+// ClaimBatch leases up to max eligible pending cells to worker in one
+// call, amortizing the per-claim round-trip across the batch. Each
+// granted cell carries its own lease: expiry, heartbeat and completion
+// accounting stay cell-granular, so one lease of a batch expiring (or
+// failing) never releases its siblings. The effective batch size is
+// worker-count-aware — capped at the pending pool divided by the
+// number of distinct claimants seen so far — so a fleet's tail is
+// spread across workers instead of queueing behind one batch. The
+// bool result means the same as Claim's: every cell is settled.
+func (c *Coordinator) ClaimBatch(worker string, methods []string, max int) ([]*Grant, bool, error) {
+	if max <= 0 {
+		max = 1
+	}
 	supported := func(string) bool { return true }
 	if len(methods) > 0 {
 		set := make(map[string]bool, len(methods))
@@ -195,12 +236,14 @@ func (c *Coordinator) Claim(worker string, methods []string) (*Grant, bool, erro
 	if c.closed {
 		return nil, true, nil
 	}
+	c.claimers[worker] = true
 	c.expireStaleLocked(now)
 	if c.interruptedLocked() {
 		// Draining: grant nothing new, let outstanding leases finish.
 		return nil, false, nil
 	}
 	done := true
+	var eligible []*cellState
 	for _, cs := range c.cells {
 		if cs.settled {
 			continue
@@ -209,6 +252,20 @@ func (c *Coordinator) Claim(worker string, methods []string) (*Grant, bool, erro
 		if cs.lease != "" || now.Before(cs.notBefore) || !supported(cs.cell.Method.Name) {
 			continue
 		}
+		eligible = append(eligible, cs)
+	}
+	if len(eligible) == 0 {
+		return nil, done, nil
+	}
+	// Fair share: never hand one worker more than its slice of the
+	// eligible pool (rounded up, floored at one cell).
+	fair := (len(eligible) + len(c.claimers) - 1) / len(c.claimers)
+	if fair < 1 {
+		fair = 1
+	}
+	n := min(max, fair, len(eligible))
+	grants := make([]*Grant, 0, n)
+	for _, cs := range eligible[:n] {
 		id := fmt.Sprintf("%s.%d", worker, c.nextSeq)
 		c.nextSeq++
 		cs.lease = id
@@ -221,13 +278,14 @@ func (c *Coordinator) Claim(worker string, methods []string) (*Grant, bool, erro
 		})
 		fmt.Fprintf(c.opts.Log, "[dist] job %s: lease %s cell %d method %s -> worker %s\n",
 			c.job, id, cs.cell.Index, cs.cell.Method.Name, worker)
-		return &Grant{
+		grants = append(grants, &Grant{
 			Lease: id, TTL: c.opts.LeaseTTL, Cell: cs.cell,
 			SkipFit:        c.spec.Opts.SkipFit,
 			KeepFinalState: c.spec.Opts.KeepFinalState,
-		}, false, nil
+			Bundles:        c.bundles[cs.cell.Method.Name],
+		})
 	}
-	return nil, done, nil
+	return grants, false, nil
 }
 
 // Heartbeat extends a live lease by the TTL and returns the new TTL.
@@ -248,6 +306,32 @@ func (c *Coordinator) Heartbeat(lease string) (time.Duration, error) {
 	cs.expiry = now.Add(c.opts.LeaseTTL)
 	c.leases.append(leaseRecord{Event: leaseExtend, Lease: lease, ExpiryNS: cs.expiry.UnixNano()})
 	return c.opts.LeaseTTL, nil
+}
+
+// HeartbeatBatch extends every live lease in leases with one lock
+// acquisition (the batched-claim worker's single heartbeat RPC per
+// tick) and returns the subset that is no longer current — expired,
+// reassigned, or lost to a restart. Expiry stays per-lease: a dead
+// sibling never poisons the rest of the batch.
+func (c *Coordinator) HeartbeatBatch(leases []string) (time.Duration, []string) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expired []string
+	if c.closed {
+		return 0, append(expired, leases...)
+	}
+	c.expireStaleLocked(now)
+	for _, lease := range leases {
+		cs, ok := c.byLease[lease]
+		if !ok {
+			expired = append(expired, lease)
+			continue
+		}
+		cs.expiry = now.Add(c.opts.LeaseTTL)
+		c.leases.append(leaseRecord{Event: leaseExtend, Lease: lease, ExpiryNS: cs.expiry.UnixNano()})
+	}
+	return c.opts.LeaseTTL, expired
 }
 
 // Complete accepts a finished cell from the current holder of lease,

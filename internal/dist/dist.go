@@ -73,6 +73,12 @@ type Options struct {
 	// only — wall-clock never reaches journal records or digests. Nil
 	// selects the real clock; tests inject fakes to script expiries.
 	Clock func() time.Time
+	// BundleDir is the directory GET /bundles/{fingerprint} serves
+	// trained model bundles from (the serving daemon's shared bundle
+	// store). Empty disables the endpoint: bundle-bearing grants then
+	// fail worker-side, so only coordinators that actually train should
+	// leave it unset.
+	BundleDir string
 	// Log receives coordinator progress lines (nil = discard).
 	Log io.Writer
 }

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -134,16 +135,54 @@ func TestParseFaultPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := FaultPlan{Seed: 7, Drop: 0.2, Err: 0.1, DelayP: 0.15, Delay: 40 * time.Millisecond}
-	if *p != want {
-		t.Fatalf("parsed %+v, want %+v", *p, want)
+	want := &FaultPlan{Seed: 7, Drop: 0.2, Err: 0.1, DelayP: 0.15, Delay: 40 * time.Millisecond}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
 	}
 	if p, err := ParseFaultPlan(""); err != nil || p != nil {
 		t.Fatalf("empty plan = (%v, %v), want (nil, nil)", p, err)
 	}
-	for _, bad := range []string{"drop=2", "err=-1", "delay=40ms", "delay=0.5:nope", "seed=x", "bogus=1", "drop"} {
+	// Kind-scoped fields land in the kind's sub-plan, not plan-wide.
+	p, err = ParseFaultPlan("seed=3,drop=0.1,bundle.delay=1:2s,bundle.drop=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = &FaultPlan{Seed: 3, Drop: 0.1, Kinds: map[string]*FaultPlan{
+		"bundle": {Drop: 0.5, DelayP: 1, Delay: 2 * time.Second},
+	}}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	for _, bad := range []string{"drop=2", "err=-1", "delay=40ms", "delay=0.5:nope", "seed=x", "bogus=1", "drop", "bogus.drop=0.5", "bundle.bogus=1"} {
 		if _, err := ParseFaultPlan(bad); err == nil {
 			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultPlanKindScoping: a kind-scoped sub-plan replaces the
+// plan-wide probabilities for its kind only, inherits the parent seed
+// when its own is zero, and leaves other kinds on the parent schedule.
+func TestFaultPlanKindScoping(t *testing.T) {
+	parent := &FaultPlan{Seed: 7, Drop: 0.3}
+	scoped := &FaultPlan{Seed: 7, Drop: 0.3, Kinds: map[string]*FaultPlan{
+		"bundle": {Drop: 1},
+	}}
+	for n := 0; n < 50; n++ {
+		if !scoped.decide("bundle", n).drop {
+			t.Fatalf("bundle rpc %d escaped a drop=1 sub-plan", n)
+		}
+		if scoped.decide("claim", n) != parent.decide("claim", n) {
+			t.Fatalf("claim rpc %d schedule perturbed by the bundle sub-plan", n)
+		}
+	}
+	// Zero-seed sub-plans inherit the parent seed: same schedule as a
+	// standalone plan with the parent's seed.
+	inherit := &FaultPlan{Seed: 9, Kinds: map[string]*FaultPlan{"bundle": {Drop: 0.4}}}
+	standalone := &FaultPlan{Seed: 9, Drop: 0.4}
+	for n := 0; n < 50; n++ {
+		if inherit.decide("bundle", n) != standalone.decide("bundle", n) {
+			t.Fatalf("zero-seed sub-plan did not inherit the parent seed at rpc %d", n)
 		}
 	}
 }

@@ -30,7 +30,18 @@ type FaultPlan struct {
 	DelayP float64
 	// Delay is the injected latency for DelayP-selected RPCs.
 	Delay time.Duration
+	// Kinds scopes a fault schedule to one RPC kind ("claim",
+	// "heartbeat", "complete", "bundle"): an RPC whose kind has an
+	// entry draws its fate from that entry (seeded by the parent Seed
+	// when the entry's own Seed is zero) instead of the plan-wide
+	// probabilities. This is how a chaos run targets the bundle
+	// endpoint specifically — e.g. stall only downloads to widen a
+	// kill window — without perturbing the lease protocol's schedule.
+	Kinds map[string]*FaultPlan `json:"kinds,omitempty"`
 }
+
+// faultKinds are the RPC kinds a plan may scope faults to.
+var faultKinds = map[string]bool{"claim": true, "heartbeat": true, "complete": true, "bundle": true}
 
 // faultDecision is the drawn fate of one RPC.
 type faultDecision struct {
@@ -44,7 +55,18 @@ type faultDecision struct {
 // so adding or removing one fault probability never reshuffles the
 // others' schedule.
 func (p *FaultPlan) decide(kind string, n int) faultDecision {
-	if p == nil || (p.Drop <= 0 && p.Err <= 0 && p.DelayP <= 0) {
+	if p == nil {
+		return faultDecision{}
+	}
+	if sub, ok := p.Kinds[kind]; ok && sub != nil {
+		scoped := *sub
+		if scoped.Seed == 0 {
+			scoped.Seed = p.Seed
+		}
+		scoped.Kinds = nil
+		return scoped.decide(kind, n)
+	}
+	if p.Drop <= 0 && p.Err <= 0 && p.DelayP <= 0 {
 		return faultDecision{}
 	}
 	h := sha256.Sum256([]byte(fmt.Sprintf("dlpic-fault|%d|%s|%d", p.Seed, kind, n)))
@@ -60,10 +82,13 @@ func (p *FaultPlan) decide(kind string, n int) faultDecision {
 
 // ParseFaultPlan parses the flag syntax of a fault plan:
 //
-//	"seed=7,drop=0.2,err=0.1,delay=0.15:40ms"
+//	"seed=7,drop=0.2,err=0.1,delay=0.15:40ms,bundle.delay=1:2s"
 //
 // Fields may appear in any order and all are optional; delay takes
-// "probability:duration". An empty string is a nil (fault-free) plan.
+// "probability:duration". A field prefixed with an RPC kind
+// ("claim.", "heartbeat.", "complete.", "bundle.") lands in that
+// kind's scoped sub-plan (see FaultPlan.Kinds) instead of the
+// plan-wide probabilities. An empty string is a nil (fault-free) plan.
 func ParseFaultPlan(s string) (*FaultPlan, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -75,40 +100,61 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("dist: fault plan field %q: want key=value", field)
 		}
-		switch k {
-		case "seed":
-			seed, err := strconv.ParseUint(v, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("dist: fault plan seed %q: %w", v, err)
+		target := p
+		if kind, rest, scoped := strings.Cut(k, "."); scoped {
+			if !faultKinds[kind] {
+				return nil, fmt.Errorf("dist: fault plan: unknown rpc kind %q in field %q", kind, k)
 			}
-			p.Seed = seed
-		case "drop", "err":
-			prob, err := strconv.ParseFloat(v, 64)
-			if err != nil || prob < 0 || prob > 1 {
-				return nil, fmt.Errorf("dist: fault plan %s %q: want probability in [0,1]", k, v)
+			if p.Kinds == nil {
+				p.Kinds = map[string]*FaultPlan{}
 			}
-			if k == "drop" {
-				p.Drop = prob
-			} else {
-				p.Err = prob
+			if p.Kinds[kind] == nil {
+				p.Kinds[kind] = &FaultPlan{}
 			}
-		case "delay":
-			ps, ds, ok := strings.Cut(v, ":")
-			if !ok {
-				return nil, fmt.Errorf("dist: fault plan delay %q: want probability:duration", v)
-			}
-			prob, err := strconv.ParseFloat(ps, 64)
-			if err != nil || prob < 0 || prob > 1 {
-				return nil, fmt.Errorf("dist: fault plan delay probability %q: want [0,1]", ps)
-			}
-			d, err := time.ParseDuration(ds)
-			if err != nil {
-				return nil, fmt.Errorf("dist: fault plan delay duration %q: %w", ds, err)
-			}
-			p.DelayP, p.Delay = prob, d
-		default:
-			return nil, fmt.Errorf("dist: fault plan: unknown field %q", k)
+			target, k = p.Kinds[kind], rest
+		}
+		if err := target.setField(k, v); err != nil {
+			return nil, err
 		}
 	}
 	return p, nil
+}
+
+// setField assigns one parsed key=value field of the flag syntax.
+func (p *FaultPlan) setField(k, v string) error {
+	switch k {
+	case "seed":
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("dist: fault plan seed %q: %w", v, err)
+		}
+		p.Seed = seed
+	case "drop", "err":
+		prob, err := strconv.ParseFloat(v, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return fmt.Errorf("dist: fault plan %s %q: want probability in [0,1]", k, v)
+		}
+		if k == "drop" {
+			p.Drop = prob
+		} else {
+			p.Err = prob
+		}
+	case "delay":
+		ps, ds, ok := strings.Cut(v, ":")
+		if !ok {
+			return fmt.Errorf("dist: fault plan delay %q: want probability:duration", v)
+		}
+		prob, err := strconv.ParseFloat(ps, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return fmt.Errorf("dist: fault plan delay probability %q: want [0,1]", ps)
+		}
+		d, err := time.ParseDuration(ds)
+		if err != nil {
+			return fmt.Errorf("dist: fault plan delay duration %q: %w", ds, err)
+		}
+		p.DelayP, p.Delay = prob, d
+	default:
+		return fmt.Errorf("dist: fault plan: unknown field %q", k)
+	}
+	return nil
 }

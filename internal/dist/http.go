@@ -3,7 +3,11 @@ package dist
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -36,8 +40,13 @@ func NewHub(opts Options) *Hub {
 // drains via spec.Interrupt). It is the distributed counterpart of
 // campaign.Run with an identical contract: same result shape, same
 // journal, same digest.
-func (h *Hub) Run(job, journalPath string, spec campaign.Spec) ([]sweep.Result, error) {
-	c, err := NewCoordinator(job, journalPath, spec, h.opts)
+//
+// bundles are the trained model bundles the campaign's DL methods
+// need (BundleRefFromFile over the trainer's persisted artifacts);
+// grants for those methods carry the refs and the hub's bundle
+// endpoint serves the bytes. Model-free campaigns pass none.
+func (h *Hub) Run(job, journalPath string, spec campaign.Spec, bundles ...BundleRef) ([]sweep.Result, error) {
+	c, err := NewCoordinator(job, journalPath, spec, h.opts, bundles...)
 	if err != nil {
 		return nil, err
 	}
@@ -79,28 +88,26 @@ func (h *Hub) jobs() []string {
 // carries the worker's supported method names and the coordinator
 // only grants cells the worker can actually run.
 
-// ClaimRequest asks the hub for a cell to execute.
+// ClaimRequest asks the hub for up to Max cells to execute.
 type ClaimRequest struct {
 	// Worker identifies the claimant; it lands in lease ids and logs.
 	Worker string `json:"worker"`
 	// Methods are the method names this worker can execute. Empty
 	// claims anything (only sensible for method-name-agnostic tests).
 	Methods []string `json:"methods,omitempty"`
+	// Max is the batch size: the largest number of cells the worker
+	// wants in one round-trip (<= 0 means 1). The coordinator may
+	// grant fewer — it divides the pending pool across the workers it
+	// has seen.
+	Max int `json:"max,omitempty"`
 }
 
-// ClaimResponse is the hub's answer: a cell to run, or a hint to poll
-// again, or the news that all known jobs are done.
-type ClaimResponse struct {
-	// Status is "cell" (run the enclosed cell), "idle" (nothing
-	// claimable now, retry after RetryMS) or "done" (every live job's
-	// cells are settled; also returned when no job is live).
-	Status string `json:"status"`
-	// RetryMS paces the next claim after "idle"/"done".
-	RetryMS int64 `json:"retry_ms,omitempty"`
-
-	// Job and Lease identify the granted lease ("cell" only).
-	Job   string `json:"job,omitempty"`
-	Lease string `json:"lease,omitempty"`
+// CellGrant is one leased cell inside a ClaimResponse. Each granted
+// cell has its own lease: heartbeats, expiry and completion stay
+// cell-granular however many cells one claim returned.
+type CellGrant struct {
+	// Lease is the lease id the worker heartbeats and completes with.
+	Lease string `json:"lease"`
 	// TTLMS is the lease lifetime; heartbeat well within it.
 	TTLMS int64 `json:"ttl_ms,omitempty"`
 	// Key, Index, Scenario and Method are the cell (see campaign.Cell);
@@ -112,17 +119,41 @@ type ClaimResponse struct {
 	Method         string         `json:"method,omitempty"`
 	SkipFit        bool           `json:"skip_fit,omitempty"`
 	KeepFinalState bool           `json:"keep_final_state,omitempty"`
+	// Bundles are the trained model bundles the cell's method needs;
+	// fetch them from GET /bundles/{fingerprint} (empty for model-free
+	// methods).
+	Bundles []BundleRef `json:"bundles,omitempty"`
 }
 
-// HeartbeatRequest extends a lease.
+// ClaimResponse is the hub's answer: cells to run, or a hint to poll
+// again, or the news that all known jobs are done.
+type ClaimResponse struct {
+	// Status is "cell" (run the enclosed cells), "idle" (nothing
+	// claimable now, retry after RetryMS) or "done" (every live job's
+	// cells are settled; also returned when no job is live).
+	Status string `json:"status"`
+	// RetryMS paces the next claim after "idle"/"done".
+	RetryMS int64 `json:"retry_ms,omitempty"`
+	// Job identifies the granting job ("cell" only); every cell of one
+	// response belongs to it.
+	Job string `json:"job,omitempty"`
+	// Cells are the granted cells, at most the request's Max.
+	Cells []CellGrant `json:"cells,omitempty"`
+}
+
+// HeartbeatRequest extends one or more leases of a job in one RPC (a
+// batched worker holds several at once).
 type HeartbeatRequest struct {
-	Job   string `json:"job"`
-	Lease string `json:"lease"`
+	Job    string   `json:"job"`
+	Leases []string `json:"leases"`
 }
 
-// HeartbeatResponse acknowledges the extension.
+// HeartbeatResponse acknowledges the extension. Leases that are no
+// longer current come back in Expired — cell-granular preemption; the
+// RPC itself is 410 only when every lease it named is gone.
 type HeartbeatResponse struct {
-	TTLMS int64 `json:"ttl_ms"`
+	TTLMS   int64    `json:"ttl_ms"`
+	Expired []string `json:"expired,omitempty"`
 }
 
 // CompleteRequest reports a finished cell for journaling.
@@ -140,20 +171,26 @@ type CompleteRequest struct {
 
 // Register mounts the distributed-execution endpoints on mux:
 //
-//	POST /dist/claim     ClaimRequest -> ClaimResponse
-//	POST /dist/heartbeat HeartbeatRequest -> HeartbeatResponse | 410
-//	POST /dist/complete  CompleteRequest -> 204 | 410
+//	POST /dist/claim          ClaimRequest -> ClaimResponse
+//	POST /dist/heartbeat      HeartbeatRequest -> HeartbeatResponse | 410
+//	POST /dist/complete       CompleteRequest -> 204 | 410
+//	GET  /bundles/{fingerprint}  model bundle bytes | 404
 //
 // 410 Gone is the wire form of ErrLeaseExpired/ErrUnknownJob: the
 // lease (or its whole job) is no longer current and the worker must
-// discard the cell without retrying.
+// discard the cell without retrying. The bundle endpoint serves the
+// hub's Options.BundleDir; workers verify downloads against the
+// digest their lease's BundleRef carried, so the endpoint itself
+// needs no integrity handshake.
 func (h *Hub) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /dist/claim", h.handleClaim)
 	mux.HandleFunc("POST /dist/heartbeat", h.handleHeartbeat)
 	mux.HandleFunc("POST /dist/complete", h.handleComplete)
+	mux.HandleFunc("GET /bundles/{fingerprint}", h.handleBundle)
 }
 
-// handleClaim scans live jobs in id order for a claimable cell.
+// handleClaim scans live jobs in id order for claimable cells; all
+// cells of one response come from one job.
 func (h *Hub) handleClaim(w http.ResponseWriter, r *http.Request) {
 	var req ClaimRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -170,19 +207,23 @@ func (h *Hub) handleClaim(w http.ResponseWriter, r *http.Request) {
 		if c == nil {
 			continue
 		}
-		grant, done, err := c.Claim(req.Worker, req.Methods)
+		grants, done, err := c.ClaimBatch(req.Worker, req.Methods, req.Max)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		if grant != nil {
-			writeJSON(w, ClaimResponse{
-				Status: "cell",
-				Job:    job, Lease: grant.Lease, TTLMS: grant.TTL.Milliseconds(),
-				Key: grant.Cell.Key, Index: grant.Cell.Index,
-				Scenario: grant.Cell.Scenario, Method: grant.Cell.Method.Name,
-				SkipFit: grant.SkipFit, KeepFinalState: grant.KeepFinalState,
-			})
+		if len(grants) > 0 {
+			resp := ClaimResponse{Status: "cell", Job: job}
+			for _, g := range grants {
+				resp.Cells = append(resp.Cells, CellGrant{
+					Lease: g.Lease, TTLMS: g.TTL.Milliseconds(),
+					Key: g.Cell.Key, Index: g.Cell.Index,
+					Scenario: g.Cell.Scenario, Method: g.Cell.Method.Name,
+					SkipFit: g.SkipFit, KeepFinalState: g.KeepFinalState,
+					Bundles: g.Bundles,
+				})
+			}
+			writeJSON(w, resp)
 			return
 		}
 		if !done {
@@ -196,7 +237,8 @@ func (h *Hub) handleClaim(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, ClaimResponse{Status: status, RetryMS: h.opts.ClaimRetry.Milliseconds()})
 }
 
-// handleHeartbeat extends one lease.
+// handleHeartbeat extends the request's leases; only an all-gone batch
+// is 410.
 func (h *Hub) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -208,12 +250,40 @@ func (h *Hub) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, ErrUnknownJob.Error(), http.StatusGone)
 		return
 	}
-	ttl, err := c.Heartbeat(req.Lease)
-	if err != nil {
-		writeRPCError(w, err)
+	ttl, expired := c.HeartbeatBatch(req.Leases)
+	if len(req.Leases) > 0 && len(expired) == len(req.Leases) {
+		http.Error(w, ErrLeaseExpired.Error(), http.StatusGone)
 		return
 	}
-	writeJSON(w, HeartbeatResponse{TTLMS: ttl.Milliseconds()})
+	writeJSON(w, HeartbeatResponse{TTLMS: ttl.Milliseconds(), Expired: expired})
+}
+
+// handleBundle streams one model bundle from the hub's bundle
+// directory. Fingerprints are validated (no path separators, no "..")
+// before touching the filesystem; unknown fingerprints — and a hub
+// with no bundle directory at all — are 404.
+func (h *Hub) handleBundle(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	if err := validFingerprint(fp); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if h.opts.BundleDir == "" {
+		http.Error(w, "dist: no bundle directory configured", http.StatusNotFound)
+		return
+	}
+	path := filepath.Join(h.opts.BundleDir, fp+bundleExt)
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, "dist: unknown bundle fingerprint", http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if st, err := f.Stat(); err == nil {
+		w.Header().Set("Content-Length", fmt.Sprintf("%d", st.Size()))
+	}
+	io.Copy(w, f)
 }
 
 // handleComplete journals one finished cell.

@@ -255,6 +255,7 @@ func (p *Pipeline) trainSolver(store *bundleStore, name string, sweep dataset.Ge
 	if store != nil {
 		if solver, ok := store.load(name, key, p.Spec, p.Cfg.Cells); ok {
 			p.logf("[%s] reusing persisted bundle %s (0 training epochs)", name, store.bundlePath(name, key))
+			p.recordBundle(name, store.bundlePath(name, key))
 			return solver, nn.History{}, nil
 		}
 		// Cadence ~10% of the budget bounds a kill's lost work without
@@ -277,8 +278,28 @@ func (p *Pipeline) trainSolver(store *bundleStore, name string, sweep dataset.Ge
 	}
 	if store != nil {
 		store.save(name, key, solver, p.Cfg.Cells)
+		// save logs-and-continues on persistence failures, so only a
+		// bundle that actually landed becomes shippable.
+		if path := store.bundlePath(name, key); fileExists(path) {
+			p.recordBundle(name, path)
+		}
 	}
 	return solver, hist, nil
+}
+
+// recordBundle notes the persisted bundle backing one trained solver
+// (see Pipeline.BundlePaths).
+func (p *Pipeline) recordBundle(name, path string) {
+	if p.BundlePaths == nil {
+		p.BundlePaths = make(map[string]string)
+	}
+	p.BundlePaths[name] = path
+}
+
+// fileExists reports whether path exists as a regular file.
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Mode().IsRegular()
 }
 
 // writeBundle encodes one solver bundle with the durability half of

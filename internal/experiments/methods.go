@@ -145,6 +145,23 @@ type MethodConfig struct {
 	Inference32 bool
 }
 
+// BundleMethod constructs the method spec of one DL method from a
+// locally cached model bundle — the worker side of distributed DL
+// execution (dist.WorkerOptions.BundleMethod). It loads the bundle
+// eagerly, so a corrupt file fails the cell at resolution rather than
+// mid-sweep, and clones the solver per scenario exactly like the
+// serial per-call path (MethodsWith without Batched), which is what
+// keeps a distributed DL digest bit-identical to the serial one.
+func BundleMethod(name, path string) (sweep.MethodSpec, error) {
+	solver, err := core.LoadModelFile(path)
+	if err != nil {
+		return sweep.MethodSpec{}, fmt.Errorf("experiments: bundle method %q: %w", name, err)
+	}
+	return sweep.MethodSpec{Name: name, Factory: func(sweep.Scenario) (pic.FieldMethod, error) {
+		return solver.Clone()
+	}}, nil
+}
+
 // Methods resolves method names into the sweep method registry of a
 // comparison campaign. provider supplies the trained solvers on first
 // DL use; it may be nil when only model-free methods (traditional,

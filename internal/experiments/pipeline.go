@@ -100,6 +100,13 @@ type Pipeline struct {
 	// Training histories.
 	MLPHistory, CNNHistory nn.History
 
+	// BundlePaths maps a DL method name ("mlp", "cnn") to the persisted
+	// model bundle backing it, populated when Options.BundleDir is set
+	// (whether the build trained fresh or reused a persisted bundle).
+	// Distributed campaigns turn these into dist.BundleRef wire
+	// identities so workers can fetch the trained models.
+	BundlePaths map[string]string
+
 	// MaxField is the largest |E| in the corpus targets (the paper's
 	// ~0.1 reference scale).
 	MaxField float64

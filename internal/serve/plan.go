@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dlpic/internal/campaign"
+	"dlpic/internal/dist"
 	"dlpic/internal/experiments"
 	"dlpic/internal/pic"
 	"dlpic/internal/sweep"
@@ -20,14 +21,23 @@ import (
 // directory, and batched DL methods draw their inference servers from
 // the daemon's pool so concurrent campaigns share one live server per
 // model identity.
-func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
+//
+// For a distributed DL campaign the pipeline builds eagerly —
+// train-then-distribute: workers must be able to fetch the trained
+// bundles the moment they claim, so training cannot hide inside a
+// lazily-invoked provider that only the daemon-local execution path
+// would trigger. The returned refs are those bundles' wire identities
+// (empty for model-free or non-distributed jobs); runJob hands them to
+// the hub so every grant can carry them.
+func (d *Daemon) plan(j *job) (campaign.Spec, int, []dist.BundleRef, error) {
 	spec := j.spec
 	names, needMLP, needCNN, err := experiments.ResolveMethodNames(strings.Join(spec.Methods, ","))
 	if err != nil {
-		return campaign.Spec{}, 0, err
+		return campaign.Spec{}, 0, nil, err
 	}
 
 	var provider experiments.PipelineProvider
+	var refs []dist.BundleRef
 	base := pic.Default()
 	base.ParticlesPerCell = spec.PPC
 	if needMLP || needCNN {
@@ -41,7 +51,19 @@ func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
 			BundleDir:    d.BundleDir(),
 		}
 		base = pipeOpts.BaseConfig()
-		provider = experiments.NewPipelineProvider(pipeOpts)
+		if spec.Distributed {
+			p, err := experiments.New(pipeOpts)
+			if err != nil {
+				return campaign.Spec{}, 0, nil, err
+			}
+			provider = experiments.FixedPipeline(p)
+			refs, err = bundleRefs(p, names)
+			if err != nil {
+				return campaign.Spec{}, 0, nil, err
+			}
+		} else {
+			provider = experiments.NewPipelineProvider(pipeOpts)
+		}
 	}
 	mc := experiments.MethodConfig{Batched: spec.Batched, MaxBatch: spec.MaxBatch}
 	if spec.Batched {
@@ -55,7 +77,7 @@ func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
 	}
 	specs, _, err := experiments.MethodsWith(provider, names, mc)
 	if err != nil {
-		return campaign.Spec{}, 0, err
+		return campaign.Spec{}, 0, nil, err
 	}
 
 	scenarios := sweep.Grid(base, spec.V0s, spec.Vths, spec.Repeats, spec.Steps, spec.Seed)
@@ -79,7 +101,31 @@ func (d *Daemon) plan(j *job) (campaign.Spec, int, error) {
 		},
 		Retry:     retry,
 		Interrupt: d.drainingNow,
-	}, total, nil
+	}, total, refs, nil
+}
+
+// bundleRefs turns the pipeline's persisted bundles into wire refs for
+// the DL methods in names. A DL method whose bundle never landed on
+// disk (persistence failure — already logged by the store) cannot be
+// distributed: failing the job here beats shipping workers a method
+// they can never resolve.
+func bundleRefs(p *experiments.Pipeline, names []string) ([]dist.BundleRef, error) {
+	var refs []dist.BundleRef
+	for _, name := range names {
+		if name != experiments.MethodMLP && name != experiments.MethodCNN {
+			continue
+		}
+		path, ok := p.BundlePaths[name]
+		if !ok {
+			return nil, fmt.Errorf("serve: distributed method %q has no persisted model bundle to ship", name)
+		}
+		ref, err := dist.BundleRefFromFile(name, path)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
 }
 
 // readJSONFile decodes one JSON file into v; a missing file surfaces

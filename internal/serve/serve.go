@@ -163,7 +163,13 @@ func newDaemon(cfg Config, startExecutors bool) (*Daemon, error) {
 	}
 	d := &Daemon{cfg: cfg, pool: batch.NewPool(), jobs: map[string]*job{}}
 	if cfg.Coordinator {
-		d.hub = dist.NewHub(dist.Options{LeaseTTL: cfg.LeaseTTL, Log: cfg.Log})
+		d.hub = dist.NewHub(dist.Options{
+			LeaseTTL: cfg.LeaseTTL,
+			Log:      cfg.Log,
+			// The hub serves the daemon's shared bundle store, so
+			// grants' BundleRefs resolve against GET /bundles/{fp}.
+			BundleDir: filepath.Join(cfg.DataDir, "bundles"),
+		})
 	}
 	d.cond = sync.NewCond(&d.mu)
 	if err := d.replay(); err != nil {
@@ -446,7 +452,7 @@ type resultFile struct {
 // classify the outcome, persist it. Interrupted runs persist nothing —
 // their journal is their checkpoint.
 func (d *Daemon) runJob(j *job) {
-	cspec, total, err := d.plan(j)
+	cspec, total, bundles, err := d.plan(j)
 	if err != nil {
 		d.persistFailure(j, total, fmt.Errorf("plan: %w", err))
 		return
@@ -461,7 +467,7 @@ func (d *Daemon) runJob(j *job) {
 		// Distributed jobs run on the hub's remote workers: the
 		// coordinator leases cells out and stays the journal's only
 		// writer, so the journal/resume/digest contract is untouched.
-		results, err = d.hub.Run(j.id, d.JournalPath(j.id), cspec)
+		results, err = d.hub.Run(j.id, d.JournalPath(j.id), cspec, bundles...)
 	} else {
 		results, err = campaign.Run(d.JournalPath(j.id), cspec)
 	}

@@ -62,9 +62,10 @@ type CampaignSpec struct {
 	// processes via the daemon's coordinator hub instead of the local
 	// sweep pool. Identity-bearing (like Batched) even though the
 	// digest is provably execution-invariant — where a campaign runs is
-	// part of what was asked for. Requires a coordinator-mode daemon,
-	// and only model-free methods (method *names* cross the wire;
-	// trained backends live in the daemon's process).
+	// part of what was asked for. Requires a coordinator-mode daemon.
+	// DL methods train in the daemon first (bundle store), then ship to
+	// workers as fingerprint-addressed model bundles; Batched is a
+	// local-execution knob and cannot combine with Distributed.
 	Distributed bool `json:"distributed,omitempty"`
 }
 
@@ -126,8 +127,8 @@ func (s CampaignSpec) Validate() error {
 	if err != nil {
 		return err
 	}
-	if n.Distributed && (needMLP || needCNN) {
-		return fmt.Errorf("serve: distributed campaigns support model-free methods only (mlp/cnn backends cannot cross the worker wire)")
+	if n.Distributed && n.Batched && (needMLP || needCNN) {
+		return fmt.Errorf("serve: distributed campaigns run DL methods per-call on the workers (batched inference is a local-execution knob; drop \"batched\" or \"distributed\")")
 	}
 	return nil
 }

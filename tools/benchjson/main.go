@@ -24,6 +24,17 @@
 // diff against. ns/op, B/op and allocs/op become numbers. Unrecognized
 // lines are ignored, so the tool is safe to feed the whole `go test`
 // stream.
+//
+// With -gate FILE the tool is a standalone CI check instead of a
+// converter: it loads the committed benchmark JSON and asserts the
+// repo's structural performance ratios (batched inference vs per-call,
+// tiled GEMM vs reference, sharded training vs serial, batched lease
+// claims vs per-cell) stay inside fixed bounds. Ratios between
+// benchmarks recorded in the same run cancel out machine speed, so the
+// gate is meaningful on any hardware — unlike absolute ns/op, which
+// only reflect whichever machine recorded the file. Each rule keys on
+// the -cpu 1 rows (no GOMAXPROCS suffix); a missing benchmark fails
+// the gate, so a renamed benchmark cannot silently skip its check.
 package main
 
 import (
@@ -71,8 +82,12 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output path (default stdout)")
 	diff := fs.String("diff", "", "previous benchmark JSON to diff the new numbers against (report to stderr)")
+	gate := fs.String("gate", "", "committed benchmark JSON to gate structural ns/op ratios against (standalone mode, stdin ignored)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *gate != "" {
+		return runGate(stdout, stderr, *gate)
 	}
 	file := benchFile{Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(stdin)
@@ -180,4 +195,86 @@ func printDiff(w io.Writer, prevPath string, cur benchFile) error {
 		}
 	}
 	return nil
+}
+
+// gateRule is one structural ratio assertion: ns/op of benchmark num
+// divided by ns/op of benchmark den must stay at or below max. Names
+// are the -cpu 1 rows (no GOMAXPROCS suffix), so every rule compares
+// two numbers from the same machine and the bound survives hardware
+// changes.
+type gateRule struct {
+	label    string // what the ratio means, for the report
+	num, den string // benchmark names at -cpu 1
+	max      float64
+}
+
+// gateRules pins the structural wins the repo's optimizations claim.
+// Bounds are deliberately loose against the recorded ratios (noted per
+// rule) — the gate catches a structural regression (an optimization
+// silently disabled or inverted), not benchmark noise.
+var gateRules = []gateRule{
+	// Batched DL inference amortizes forward passes across the sweep;
+	// recorded ratio ~0.09.
+	{"batched vs per-call DL sweep", "Sweep_DLBatched", "Sweep_DLPerCall", 0.5},
+	// Tiled GEMM must not lose to the reference loops at the blocked
+	// sizes; recorded ratios 0.63–0.87. Small shapes are too noisy to
+	// gate, so only the 512³ rows are pinned.
+	{"tiled vs reference GEMM (NN)", "MatMul_NN/512x512x512/tiled", "MatMul_NN/512x512x512/ref", 1.0},
+	{"tiled vs reference GEMM (NT)", "MatMul_NT/512x512x512/tiled", "MatMul_NT/512x512x512/ref", 1.0},
+	{"tiled vs reference GEMM (TN)", "MatMul_TN/512x512x512/tiled", "MatMul_TN/512x512x512/ref", 1.0},
+	// Sharded training pays a determinism tax (fixed shard boundaries,
+	// deterministic reduction) but must stay in the same ballpark as
+	// serial; recorded ratio ~1.18.
+	{"sharded vs serial training fit", "Training_ShardedFit/sharded-w4", "Training_ShardedFit/serial", 2.0},
+	// Batched lease claims exist to cut per-cell RPC overhead; k=8 must
+	// not cost more than k=1 per campaign. Recorded ratio ~0.87.
+	{"batched vs per-cell lease claims", "Sweep_DistLeaseDispatch/k8", "Sweep_DistLeaseDispatch/k1", 1.0},
+}
+
+// runGate loads a committed benchmark JSON and checks every gateRule,
+// reporting each ratio against its bound. Any violated rule or missing
+// benchmark name fails the gate (exit 1).
+func runGate(stdout, stderr io.Writer, path string) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson: gate:", err)
+		return 1
+	}
+	var file benchFile
+	if err := json.Unmarshal(buf, &file); err != nil {
+		fmt.Fprintf(stderr, "benchjson: gate: %s: %v\n", path, err)
+		return 1
+	}
+	ns := make(map[string]float64, len(file.Benchmarks))
+	for _, b := range file.Benchmarks {
+		ns[b.Name] = b.NsPerOp
+	}
+	fmt.Fprintf(stdout, "benchjson: gating %d structural ratios from %s\n", len(gateRules), path)
+	bad := 0
+	for _, r := range gateRules {
+		num, okN := ns[r.num]
+		den, okD := ns[r.den]
+		switch {
+		case !okN || !okD:
+			missing := r.num
+			if okN {
+				missing = r.den
+			}
+			fmt.Fprintf(stdout, "  FAIL %-36s benchmark %q not in file\n", r.label, missing)
+			bad++
+		case den <= 0:
+			fmt.Fprintf(stdout, "  FAIL %-36s %s has non-positive ns/op %v\n", r.label, r.den, den)
+			bad++
+		case num/den > r.max:
+			fmt.Fprintf(stdout, "  FAIL %-36s %s / %s = %.3f > %.2f\n", r.label, r.num, r.den, num/den, r.max)
+			bad++
+		default:
+			fmt.Fprintf(stdout, "  ok   %-36s %s / %s = %.3f <= %.2f\n", r.label, r.num, r.den, num/den, r.max)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "benchjson: gate: %d of %d ratio bounds violated\n", bad, len(gateRules))
+		return 1
+	}
+	return 0
 }

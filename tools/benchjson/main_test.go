@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -183,5 +184,134 @@ func TestDiffMissingPrevWarnsWithoutFailing(t *testing.T) {
 func TestBadFlagExitsTwo(t *testing.T) {
 	if code, _, _ := runTool(t, []string{"-definitely-not-a-flag"}, ""); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// gateFile writes a benchmark JSON whose ns/op values come from the
+// given name->ns map, returning its path.
+func gateFile(t *testing.T, ns map[string]float64) string {
+	t.Helper()
+	doc := benchFile{Benchmarks: []benchResult{}}
+	for name, v := range ns {
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{Name: name, Iterations: 1, NsPerOp: v})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// healthyGateNs builds ns/op values that satisfy every gate rule with
+// room to spare: each rule's numerator sits at half its bound times
+// the denominator.
+func healthyGateNs() map[string]float64 {
+	ns := make(map[string]float64, 2*len(gateRules))
+	for _, r := range gateRules {
+		ns[r.den] = 1000
+		ns[r.num] = 1000 * r.max / 2
+	}
+	return ns
+}
+
+// TestGatePasses: a file whose ratios are inside every bound reports
+// one ok line per rule and exits 0.
+func TestGatePasses(t *testing.T) {
+	path := gateFile(t, healthyGateNs())
+	code, stdout, stderr := runTool(t, []string{"-gate", path}, "stdin must be ignored in gate mode")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, stdout, stderr)
+	}
+	if n := strings.Count(stdout, "\n  ok   "); n != len(gateRules) {
+		t.Fatalf("%d ok lines, want %d:\n%s", n, len(gateRules), stdout)
+	}
+	if strings.Contains(stdout, "FAIL") {
+		t.Fatalf("unexpected FAIL in passing gate:\n%s", stdout)
+	}
+}
+
+// TestGateViolationFails: one ratio past its bound fails the gate, and
+// the report names the offending rule with its actual ratio.
+func TestGateViolationFails(t *testing.T) {
+	ns := healthyGateNs()
+	r := gateRules[0]
+	ns[r.num] = ns[r.den] * r.max * 3 // ratio = 3x the bound
+	code, stdout, stderr := runTool(t, []string{"-gate", gateFile(t, ns)}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "FAIL "+r.label) && !strings.Contains(stdout, "FAIL") {
+		t.Fatalf("missing FAIL line:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 of") || !strings.Contains(stderr, "violated") {
+		t.Fatalf("missing violation summary:\n%s", stderr)
+	}
+}
+
+// TestGateMissingBenchmarkFails: a rule whose benchmark vanished from
+// the file (e.g. renamed) must fail the gate, not silently skip.
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	ns := healthyGateNs()
+	delete(ns, gateRules[len(gateRules)-1].num)
+	code, stdout, _ := runTool(t, []string{"-gate", gateFile(t, ns)}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "not in file") {
+		t.Fatalf("missing benchmark not reported:\n%s", stdout)
+	}
+}
+
+// TestGateMissingFileFails: unlike -diff, the gate is a CI check — an
+// unreadable file is a hard failure.
+func TestGateMissingFileFails(t *testing.T) {
+	code, _, stderr := runTool(t, []string{"-gate", filepath.Join(t.TempDir(), "nope.json")}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "gate") {
+		t.Fatalf("missing gate error:\n%s", stderr)
+	}
+}
+
+// TestGateRulesAgainstCommittedFile runs the real rules against the
+// newest committed BENCH_PR*.json that contains the lease-dispatch
+// sub-benchmarks — the same invocation `make bench-gate` performs in
+// CI — so a bounds/recording mismatch is caught at `go test` time.
+func TestGateRulesAgainstCommittedFile(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_PR*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no committed BENCH_PR*.json (err %v)", err)
+	}
+	// Glob returns lexical order; pick the numerically newest.
+	newest, best := "", -1
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_PR%d.json", &n); err == nil && n > best {
+			newest, best = m, n
+		}
+	}
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		names[b.Name] = true
+	}
+	if !names["Sweep_DistLeaseDispatch/k1"] {
+		t.Skipf("%s predates the k1/k8 lease-dispatch benchmarks", newest)
+	}
+	code, stdout, stderr := runTool(t, []string{"-gate", newest}, "")
+	if code != 0 {
+		t.Fatalf("gate fails on committed %s:\n%s%s", newest, stdout, stderr)
 	}
 }

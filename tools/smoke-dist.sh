@@ -20,8 +20,25 @@
 #            (dropped and discarded responses) joins; the campaign must
 #            still finish
 #
-# Acceptance: the distributed digest equals the serial digest
-# bit-exactly, the journal holds each cell exactly once, and no cell
+# DL fleet run (phases 5-7): an MLP campaign through the same lease
+# protocol — the model trains in the coordinator, ships to workers as a
+# fingerprint-addressed digest-verified bundle, and lands in each
+# worker's on-disk cache:
+#
+#   phase 5  serial MLP reference digest on a plain daemon
+#   phase 6  coordinator trains + persists the bundle; worker w5 (its
+#            bundle fetches delayed by an injected fault) is kill -9'd
+#            mid-bundle-download; the coordinator itself is then
+#            kill -9'd and restarted over the same directory — it must
+#            reuse the persisted bundle, not retrain
+#   phase 7  workers w6 (batched claims) and w7 (dropped bundle fetches)
+#            finish the campaign: digest bit-identical to phase 5,
+#            training ran exactly once across the whole fleet (epochs in
+#            the first coordinator's log only), and at least one cell
+#            was served from a worker's bundle cache, not the wire
+#
+# Acceptance: the distributed digests equal the serial digests
+# bit-exactly, the journals hold each cell exactly once, and no cell
 # consumed more than its retry budget (attempts <= 3).
 #
 # No jq dependency: responses are plain JSON extracted with sed.
@@ -171,4 +188,78 @@ kill -TERM "$W2" "$W3" "$W4" 2>/dev/null || true
 wait "$W2" "$W3" "$W4" 2>/dev/null || true
 kill -TERM "$DPID"
 wait "$DPID" || { echo "coordinator daemon exited non-zero after SIGTERM"; exit 1; }
+
+# ---- phase 5: serial MLP reference digest ---------------------------------
+# 4 cells (4 v0s x 1 vth x mlp) at tiny scale: training dominates, cell
+# execution is quick — exactly the profile bundle shipping exists for.
+MLP_AXES='"scale":"tiny","v0s":[0.18,0.2,0.22,0.24],"vths":[0.01],"steps":30,"seed":7,"methods":["mlp"]'
+mkdir -p "$DIR/c" "$DIR/d"
+start_daemon "$DIR/c" c 127.0.0.1:0
+code=$(submit "{$MLP_AXES}" "$DIR/c.sub")
+[ "$code" = 202 ] || { echo "serial MLP submit: HTTP $code, want 202"; exit 1; }
+id_mlp_serial=$(field id < "$DIR/c.sub")
+wait_done "$id_mlp_serial" c
+digest_mlp_serial=$(field digest < "$DIR/c.status")
+[ -n "$digest_mlp_serial" ] || { echo "serial MLP run produced no digest"; exit 1; }
+kill -TERM "$DPID"
+wait "$DPID" || { echo "serial MLP daemon exited non-zero after SIGTERM"; exit 1; }
+echo "phase 5: serial MLP digest $digest_mlp_serial"
+
+# ---- phase 6: kill a worker mid-bundle-download, then the coordinator ----
+start_daemon "$DIR/d" d1 127.0.0.1:0 -coordinator -lease-ttl 1s
+CADDR=$ADDR
+code=$(submit "{$MLP_AXES,\"distributed\":true}" "$DIR/d.sub")
+[ "$code" = 202 ] || { echo "distributed MLP submit: HTTP $code, want 202"; exit 1; }
+id_mlp=$(field id < "$DIR/d.sub")
+# The model trains in the coordinator before any lease is granted.
+wait_log 'persisted bundle' "$DIR/d1.log" "the coordinator to train and persist the MLP bundle"
+# w5's bundle fetches are delayed 5s by an injected fault, holding the
+# download window open; the kill -9 lands inside it.
+start_worker w5 -methods mlp -cache-dir "$DIR/w5cache" -fault seed=7,bundle.delay=1:5s
+W5=$WPID
+wait_log 'downloading from coordinator' "$DIR/w5.log" "w5 to start its bundle download"
+kill -9 "$W5" 2>/dev/null || true
+wait "$W5" 2>/dev/null || true
+# Kill the coordinator mid-campaign (no cell has completed) and restart
+# it over the same directory and address: the journal brings the job
+# back, the bundle store makes retraining unnecessary.
+kill -9 "$DPID" 2>/dev/null || true
+wait "$DPID" 2>/dev/null || true
+start_daemon "$DIR/d" d2 "$CADDR" -coordinator -lease-ttl 1s
+wait_log 'reusing persisted bundle' "$DIR/d2.log" "the restarted coordinator to reuse the persisted bundle"
+echo "phase 6: w5 kill -9'd mid-bundle-download; coordinator restarted, bundle reused"
+
+# ---- phase 7: a cached fleet finishes the MLP campaign --------------------
+start_worker w6 -methods mlp -cache-dir "$DIR/w6cache" -claim-batch 2
+W6=$WPID
+start_worker w7 -methods mlp -cache-dir "$DIR/w7cache" -fault seed=7,bundle.drop=0.5
+W7=$WPID
+wait_done "$id_mlp" d
+digest_mlp=$(field digest < "$DIR/d.status")
+[ "$digest_mlp" = "$digest_mlp_serial" ] || { echo "distributed MLP digest $digest_mlp != serial $digest_mlp_serial"; exit 1; }
+
+# Exactly one training run across the fleet: epochs in the first
+# coordinator's log only — the restarted coordinator reused the bundle
+# and workers only ever load bundles, they never train.
+[ "$(grep -cE '^epoch ' "$DIR/d1.log")" -gt 0 ] || { echo "no training epochs in the first coordinator's log"; exit 1; }
+[ "$(grep -cE '^epoch ' "$DIR/d2.log")" = 0 ] || { echo "restarted coordinator retrained instead of reusing the bundle"; exit 1; }
+for wlog in w5 w6 w7; do
+	[ "$(grep -cE '^epoch ' "$DIR/$wlog.log")" = 0 ] || { echo "worker $wlog trained; workers must only load bundles"; exit 1; }
+done
+# Each worker downloads the bundle once; later cells on the same worker
+# are served from its on-disk cache. 4 cells across 2 workers puts at
+# least 2 on one of them, so a cache-hit line must exist.
+grep -q 'cache hit' "$DIR/w6.log" "$DIR/w7.log" || { echo "no cell was served from a worker bundle cache"; exit 1; }
+
+journal="$DIR/d/$id_mlp.jsonl"
+lines=$(wc -l < "$journal")
+[ "$lines" = 4 ] || { echo "MLP journal holds $lines records, want 4"; exit 1; }
+over=$(grep -o '"attempts":[0-9]*' "$journal" | sed 's/.*://' | awk -v b="$BUDGET" '$1 > b' | wc -l)
+[ "$over" = 0 ] || { echo "$over MLP cells exceeded the retry budget of $BUDGET"; exit 1; }
+echo "phase 7: MLP fleet digest matches serial; one training run; cache served"
+
+kill -TERM "$W6" "$W7" 2>/dev/null || true
+wait "$W6" "$W7" 2>/dev/null || true
+kill -TERM "$DPID"
+wait "$DPID" || { echo "MLP coordinator exited non-zero after SIGTERM"; exit 1; }
 echo "smoke-dist: OK"
